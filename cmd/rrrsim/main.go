@@ -1,0 +1,173 @@
+// Command rrrsim inspects the deterministic Internet simulator that backs
+// the benchmark suite: topology summaries, per-AS detail, event traces, and
+// on-demand traceroutes.
+//
+//	rrrsim topo -seed 3
+//	rrrsim as -asn 104
+//	rrrsim events -days 2
+//	rrrsim trace -src AS140 -dst AS160
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rrr/internal/bgp"
+	"rrr/internal/netsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	size := fs.String("size", "default", "topology size: default or test")
+	days := fs.Int("days", 1, "days of events to sample")
+	asn := fs.Int("asn", 0, "AS number for the as command")
+	src := fs.String("src", "", "source AS (e.g. AS140) for trace")
+	dst := fs.String("dst", "", "destination AS for trace")
+	fs.Parse(os.Args[2:])
+
+	cfg := netsim.DefaultConfig()
+	if *size == "test" {
+		cfg = netsim.TestConfig()
+	}
+	cfg.Seed = *seed
+	s := netsim.New(cfg)
+
+	switch cmd {
+	case "topo":
+		cmdTopo(s)
+	case "as":
+		cmdAS(s, bgp.ASN(*asn))
+	case "events":
+		cmdEvents(s, *days)
+	case "trace":
+		cmdTrace(s, *src, *dst)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rrrsim topo|as|events|trace [flags]")
+	os.Exit(2)
+}
+
+func cmdTopo(s *netsim.Sim) {
+	tiers := map[int]int{}
+	for _, asn := range s.T.ASList {
+		tiers[s.T.ASes[asn].Tier]++
+	}
+	fmt.Printf("ASes: %d (tier1 %d, tier2 %d, tier3 %d)\n",
+		len(s.T.ASList), tiers[1], tiers[2], tiers[3])
+	fmt.Printf("routers: %d  links: %d  IXPs: %d  cities: %d  VPs: %d\n",
+		len(s.T.Routers)-1, len(s.T.Links)-1, len(s.T.IXPs)-1, len(s.T.Cities), len(s.VPs()))
+	rels := map[netsim.Relationship]int{}
+	multi := 0
+	pairSeen := map[[2]bgp.ASN]bool{}
+	for i := 1; i < len(s.T.Links); i++ {
+		l := s.T.Links[i]
+		rels[l.Rel]++
+		pair := [2]bgp.ASN{l.AAS, l.BAS}
+		if l.BAS < l.AAS {
+			pair = [2]bgp.ASN{l.BAS, l.AAS}
+		}
+		if !pairSeen[pair] && len(s.T.LinksBetween(l.AAS, l.BAS)) >= 2 {
+			multi++
+		}
+		pairSeen[pair] = true
+	}
+	fmt.Printf("links by relationship: customer %d, peer %d\n",
+		rels[netsim.RelCustomer], rels[netsim.RelPeer])
+	fmt.Printf("adjacencies: %d (%d with parallel links)\n", len(pairSeen), multi)
+	for i := 1; i < len(s.T.IXPs); i++ {
+		x := s.T.IXPs[i]
+		fmt.Printf("  IXP %d: LAN %s, city %d, %d members\n",
+			x.ID, x.LAN, x.City, len(x.MemberIPs))
+	}
+}
+
+func cmdAS(s *netsim.Sim, asn bgp.ASN) {
+	a, ok := s.T.ASes[asn]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown AS %d\n", asn)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: tier %d, block %s, %d PoPs, geo-tags=%v strips=%v\n",
+		a.ASN, a.Tier, a.Block, len(a.PoPs), a.TagsGeo, a.StripsCommunities)
+	for _, p := range a.Prefixes {
+		fmt.Printf("  originates %s\n", p)
+	}
+	var nbs []bgp.ASN
+	for nb := range a.Neighbors {
+		nbs = append(nbs, nb)
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+	for _, nb := range nbs {
+		fmt.Printf("  %s: %s via %d link(s)\n", nb, a.Rel[nb], len(a.Neighbors[nb]))
+	}
+}
+
+func cmdEvents(s *netsim.Sim, days int) {
+	for d := 0; d < days; d++ {
+		for w := 0; w < 96; w++ {
+			s.Step(900)
+		}
+	}
+	fmt.Printf("%d events over %d day(s):\n", len(s.Log), days)
+	counts := map[netsim.EventKind]int{}
+	for _, ev := range s.Log {
+		counts[ev.Kind]++
+		target := ""
+		switch {
+		case ev.Link != 0:
+			l := s.T.Links[ev.Link]
+			target = fmt.Sprintf("link %d (%s-%s)", ev.Link, l.AAS, l.BAS)
+		case ev.A != 0:
+			target = fmt.Sprintf("%s-%s", ev.A, ev.B)
+		case ev.AS != 0:
+			target = ev.AS.String()
+			if ev.IXP != 0 {
+				target += fmt.Sprintf(" -> IXP %d", ev.IXP)
+			}
+		}
+		fmt.Printf("  t=%-7d %-14s %s\n", ev.Time, ev.Kind, target)
+	}
+	fmt.Println("totals:")
+	for k, n := range counts {
+		fmt.Printf("  %-14s %d\n", k, n)
+	}
+}
+
+func cmdTrace(s *netsim.Sim, srcS, dstS string) {
+	parseAS := func(v string) bgp.ASN {
+		v = strings.TrimPrefix(v, "AS")
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad AS %q\n", v)
+			os.Exit(1)
+		}
+		return bgp.ASN(n)
+	}
+	if srcS == "" || dstS == "" {
+		stubs := s.StubASes()
+		srcS, dstS = stubs[0].String(), stubs[len(stubs)-1].String()
+	}
+	srcAS, dstAS := parseAS(srcS), parseAS(dstS)
+	srcIP := s.T.HostIP(srcAS, 1)
+	dstIP := s.T.HostIP(dstAS, 1)
+	tr := s.Traceroute(0, srcIP, dstIP, 0)
+	fmt.Println(tr)
+	fmt.Printf("control-plane AS path: %v\n", s.R.ASPath(srcAS, dstAS))
+	for _, bc := range s.Borders(srcIP, dstIP) {
+		fmt.Printf("border: %s -> %s via link %d (egress router %d, ingress %d)\n",
+			bc.FromAS, bc.ToAS, bc.Link, bc.Egress, bc.Ingress)
+	}
+}

@@ -1,0 +1,240 @@
+// Command rrrtrace is a corpus tool for traceroute files in the package's
+// NDJSON (RIPE Atlas-like) or one-line text formats:
+//
+//	rrrtrace parse  < traces.ndjson      # validate and print text form
+//	rrrtrace convert -to json < traces.txt
+//	rrrtrace diff old.ndjson new.ndjson  # AS/border-level change per pair
+//	rrrtrace census < traces.ndjson      # border-IP sharing census
+//
+// IP-to-AS mapping for diff/census uses first-octet heuristics unless a
+// prefix table is supplied with -origins (lines of "prefix asn").
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+	"rrr/internal/corpus"
+	"rrr/internal/traceroute"
+	"rrr/internal/trie"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	origins := fs.String("origins", "", "prefix→ASN table file (lines: 'a.b.c.d/len asn')")
+	to := fs.String("to", "text", "convert target format: text or json")
+	fs.Parse(os.Args[2:])
+
+	mapper := loadMapper(*origins)
+	switch cmd {
+	case "parse":
+		cmdParse(os.Stdin)
+	case "convert":
+		cmdConvert(os.Stdin, *to)
+	case "diff":
+		if fs.NArg() != 2 {
+			usage()
+		}
+		cmdDiff(fs.Arg(0), fs.Arg(1), mapper)
+	case "census":
+		cmdCensus(os.Stdin, mapper)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rrrtrace parse|convert|diff|census [flags] [files]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrrtrace:", err)
+	os.Exit(1)
+}
+
+// octetMapper maps addresses to ASes by first octet, a stand-in when no
+// origins table is given.
+type octetMapper struct{}
+
+func (octetMapper) ASOf(ip uint32) (bgp.ASN, bool) {
+	f := ip >> 24
+	if f == 0 {
+		return 0, false
+	}
+	return bgp.ASN(f), true
+}
+func (octetMapper) IXPOf(uint32) (int, bool) { return 0, false }
+
+// tableMapper maps via a longest-prefix-match table.
+type tableMapper struct {
+	t trie.Trie[bgp.ASN]
+}
+
+func (m *tableMapper) ASOf(ip uint32) (bgp.ASN, bool) { return m.t.Lookup(ip) }
+func (m *tableMapper) IXPOf(uint32) (int, bool)       { return 0, false }
+
+func loadMapper(path string) traceroute.Mapper {
+	if path == "" {
+		return octetMapper{}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	m := &tableMapper{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		p, err := trie.ParsePrefix(fields[0])
+		if err != nil {
+			fatal(err)
+		}
+		asn, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			fatal(err)
+		}
+		m.t.Insert(p, bgp.ASN(asn))
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+// readAll parses traceroutes from r, accepting both NDJSON and text lines.
+func readAll(r io.Reader) []*traceroute.Traceroute {
+	var out []*traceroute.Traceroute
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 256*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var tr *traceroute.Traceroute
+		if strings.HasPrefix(line, "{") {
+			t := &traceroute.Traceroute{}
+			if err := t.UnmarshalJSON([]byte(line)); err != nil {
+				fatal(err)
+			}
+			tr = t
+		} else {
+			t, err := traceroute.ParseText(line)
+			if err != nil {
+				fatal(err)
+			}
+			tr = t
+		}
+		out = append(out, tr)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	return out
+}
+
+func readFile(path string) []*traceroute.Traceroute {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	return readAll(f)
+}
+
+func cmdParse(r io.Reader) {
+	for _, tr := range readAll(r) {
+		fmt.Println(traceroute.FormatText(tr))
+	}
+}
+
+func cmdConvert(r io.Reader, to string) {
+	traces := readAll(r)
+	switch to {
+	case "json":
+		w := traceroute.NewJSONWriter(os.Stdout)
+		for _, tr := range traces {
+			if err := w.Write(tr); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	case "text":
+		for _, tr := range traces {
+			fmt.Println(traceroute.FormatText(tr))
+		}
+	default:
+		usage()
+	}
+}
+
+func cmdDiff(oldPath, newPath string, mapper traceroute.Mapper) {
+	c := corpus.New(mapper, nil)
+	for _, tr := range readFile(oldPath) {
+		if _, err := c.Add(tr); err != nil {
+			fmt.Fprintf(os.Stderr, "skip %s: %v\n", tr.Key(), err)
+		}
+	}
+	counts := map[bordermap.ChangeClass]int{}
+	for _, tr := range readFile(newPath) {
+		cls, err := c.Classify(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skip %s: %v\n", tr.Key(), err)
+			continue
+		}
+		counts[cls]++
+		if cls != bordermap.Unchanged {
+			fmt.Printf("%-13s %s\n", cls, tr.Key())
+		}
+	}
+	fmt.Printf("unchanged=%d border-changes=%d as-changes=%d\n",
+		counts[bordermap.Unchanged], counts[bordermap.BorderChange], counts[bordermap.ASChange])
+}
+
+func cmdCensus(r io.Reader, mapper traceroute.Mapper) {
+	c := corpus.New(mapper, nil)
+	for _, tr := range readAll(r) {
+		if _, err := c.Add(tr); err != nil {
+			fmt.Fprintf(os.Stderr, "skip %s: %v\n", tr.Key(), err)
+		}
+	}
+	census := c.Census()
+	type row struct {
+		ip     uint32
+		pairs  int
+		npaths int
+	}
+	var rows []row
+	for ip, pairs := range census.ASPairs {
+		rows = append(rows, row{ip: ip, pairs: len(pairs), npaths: len(census.Paths[ip])})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].pairs != rows[j].pairs {
+			return rows[i].pairs > rows[j].pairs
+		}
+		return rows[i].ip < rows[j].ip
+	})
+	fmt.Printf("%-16s %-8s %-8s\n", "border-ip", "as-pairs", "paths")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-8d %-8d\n", trie.FormatIP(r.ip), r.pairs, r.npaths)
+	}
+}

@@ -1,0 +1,66 @@
+package rrr_test
+
+import (
+	"fmt"
+
+	"rrr"
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+)
+
+// exampleMapper maps AS n to n.0.0.0/8, the toy plan used across examples.
+type exampleMapper struct{}
+
+func (exampleMapper) ASOf(ip uint32) (rrr.ASN, bool) {
+	if ip>>24 == 0 {
+		return 0, false
+	}
+	return rrr.ASN(ip >> 24), true
+}
+
+func (exampleMapper) IXPOf(uint32) (int, bool) { return 0, false }
+
+// Example walks the full staleness-detection loop: prime, track, stream,
+// signal, refresh.
+func Example() {
+	aliases := bordermap.OracleFunc(func(v uint32) (int, bool) { return int(v), true })
+	mon, err := rrr.NewMonitor(rrr.Options{Mapper: exampleMapper{}, Aliases: aliases})
+	if err != nil {
+		panic(err)
+	}
+
+	ip := func(s string) uint32 {
+		v, err := rrr.ParseIP(s)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	prefix, _ := rrr.ParsePrefix("4.0.0.0/8")
+	announce := func(t int64, path ...rrr.ASN) rrr.Update {
+		return rrr.Update{Time: t, PeerIP: ip("5.0.0.9"), PeerAS: 5,
+			Type: bgp.Announce, Prefix: prefix, ASPath: path}
+	}
+
+	// Prime the collector view, then track one corpus traceroute.
+	mon.ObserveBGP(announce(0, 5, 2, 3, 4))
+	tr := &rrr.Traceroute{Src: ip("1.0.0.1"), Dst: ip("4.0.0.9")}
+	for i, h := range []string{"1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9"} {
+		tr.Hops = append(tr.Hops, rrr.Hop{TTL: i + 1, IP: ip(h)})
+	}
+	if err := mon.Track(tr); err != nil {
+		panic(err)
+	}
+
+	// Quiet windows build detector history; then the overlapping BGP route
+	// shifts inside the monitored suffix.
+	mon.Advance(45 * 900)
+	mon.ObserveBGP(announce(45*900+10, 5, 2, 9, 4))
+	sigs := mon.Advance(46 * 900)
+
+	fmt.Printf("signals: %d, stale: %v\n", len(sigs), mon.Stale(tr.Key()))
+	fmt.Printf("technique: %v\n", sigs[0].Technique)
+	// Output:
+	// signals: 1, stale: true
+	// technique: BGP AS-paths
+}

@@ -1,0 +1,42 @@
+// Dtrackintegration: combine DTRACK-style change detection with staleness
+// prediction signals (§6.1). The example builds a pseudo-ground-truth of
+// path changes from the simulator, generates a signal feed with the engine,
+// and emulates three trackers at the same probing budget: vanilla DTRACK,
+// signals alone, and DTRACK+SIGNALS.
+//
+//	go run ./examples/dtrackintegration -days 3 -pps 0.0005
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rrr/internal/baselines"
+	"rrr/internal/experiments"
+)
+
+func main() {
+	days := flag.Int("days", 3, "virtual days")
+	pps := flag.Float64("pps", 0.0005, "average probing budget (packets/sec/path)")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	sc.Days = *days
+	fmt.Printf("building pseudo-ground-truth and signal feed (%d days)...\n", *days)
+	r := experiments.RunFig8(sc, 150, []float64{*pps})
+
+	fmt.Printf("\nground truth: %d border-level path changes across 150 pairs\n", r.TotalChanges)
+	fmt.Printf("signal coverage bound (optimal): %.0f%%\n\n", 100*r.Optimal)
+	fmt.Printf("at %.4f pps/path:\n", *pps)
+	fmt.Printf("  %-16s %5.1f%% of changes detected\n", "round-robin", 100*r.RoundRobin[0])
+	fmt.Printf("  %-16s %5.1f%%\n", "sibyl", 100*r.Sibyl[0])
+	fmt.Printf("  %-16s %5.1f%%\n", "dtrack", 100*r.DTrack[0])
+	fmt.Printf("  %-16s %5.1f%%\n", "signals", 100*r.Signals[0])
+	fmt.Printf("  %-16s %5.1f%%\n", "dtrack+signals", 100*r.DTrackSignals[0])
+
+	fmt.Println("\nhow the integration works (§6.1):")
+	fmt.Println("  1. each incoming staleness prediction signal costs one detection probe")
+	fmt.Println("  2. confirmed signals trigger a full remap traceroute")
+	fmt.Println("  3. leftover budget runs DTRACK's own prediction-driven probing")
+	_ = baselines.TraceroutePackets
+}

@@ -1,0 +1,109 @@
+// Quickstart: build a Monitor, prime it with a BGP table dump, track one
+// corpus traceroute, stream feeds, and read staleness signals — entirely
+// with hand-built data, no simulator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rrr"
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+)
+
+// mapper resolves the example's toy address plan: AS n owns n.0.0.0/8.
+type mapper struct{}
+
+func (mapper) ASOf(ip uint32) (rrr.ASN, bool) {
+	if ip>>24 == 0 {
+		return 0, false
+	}
+	return rrr.ASN(ip >> 24), true
+}
+
+func (mapper) IXPOf(uint32) (int, bool) { return 0, false }
+
+func ip(s string) uint32 {
+	v, err := rrr.ParseIP(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func prefix(s string) rrr.Prefix {
+	p, err := rrr.ParsePrefix(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func trace(when int64, src, dst string, hops ...string) *rrr.Traceroute {
+	tr := &rrr.Traceroute{Src: ip(src), Dst: ip(dst), Time: when}
+	for i, h := range hops {
+		hop := rrr.Hop{TTL: i + 1}
+		if h != "*" {
+			hop.IP = ip(h)
+		}
+		tr.Hops = append(tr.Hops, hop)
+	}
+	return tr
+}
+
+func announce(when int64, vpIP string, vpAS rrr.ASN, pfx string, path ...rrr.ASN) rrr.Update {
+	return rrr.Update{
+		Time: when, PeerIP: ip(vpIP), PeerAS: vpAS, Type: bgp.Announce,
+		Prefix: prefix(pfx), ASPath: path,
+	}
+}
+
+func main() {
+	// Every interface is its own router in this toy universe.
+	aliases := bordermap.OracleFunc(func(v uint32) (int, bool) { return int(v), true })
+	mon, err := rrr.NewMonitor(rrr.Options{Mapper: mapper{}, Aliases: aliases})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Prime the RIB: two collector vantage points with routes to the
+	// destination prefix 4.0.0.0/8.
+	mon.ObserveBGP(announce(0, "5.0.0.9", 5, "4.0.0.0/8", 5, 2, 3, 4))
+	mon.ObserveBGP(announce(0, "6.0.0.9", 6, "4.0.0.0/8", 6, 3, 4))
+
+	// 2. Track a corpus traceroute 1.0.0.1 → 4.0.0.9 with AS path 1 2 3 4.
+	corpusTrace := trace(0, "1.0.0.1", "4.0.0.9",
+		"1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.2", "4.0.0.9")
+	if err := mon.Track(corpusTrace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracking %s with %d potential signals\n",
+		corpusTrace.Key(), len(mon.Potential(corpusTrace.Key())))
+
+	// 3. Quiet windows (the detectors need history before they may flag).
+	sigs := mon.Advance(45 * 900)
+	fmt.Printf("after 45 quiet windows: %d signals, stale=%v\n",
+		len(sigs), mon.Stale(corpusTrace.Key()))
+
+	// 4. A BGP vantage point's route shifts inside the overlapping suffix:
+	// AS5's path to the destination changes from 5 2 3 4 to 5 2 9 4.
+	mon.ObserveBGP(announce(45*900+10, "5.0.0.9", 5, "4.0.0.0/8", 5, 2, 9, 4))
+	sigs = mon.Advance(46 * 900)
+	for _, s := range sigs {
+		fmt.Printf("signal: %s\n", s)
+	}
+	fmt.Printf("stale=%v — the corpus traceroute should be refreshed or distrusted\n",
+		mon.Stale(corpusTrace.Key()))
+
+	// 5. A refresh measurement confirms the change and re-registers.
+	fresh := trace(46*900, "1.0.0.1", "4.0.0.9",
+		"1.0.0.2", "2.0.0.1", "9.0.0.1", "4.0.0.3", "4.0.0.9")
+	cls, err := mon.RecordRefresh(fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refresh classified as %v; stale=%v\n", cls, mon.Stale(corpusTrace.Key()))
+}

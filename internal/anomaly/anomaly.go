@@ -1,0 +1,404 @@
+// Package anomaly implements the two univariate time-series outlier
+// detectors the paper uses to turn monitored ratios into staleness
+// prediction signals: the assumption-free Bitmap detector of Wei et al.
+// (SSDBM 2005), used on BGP-derived series (§4.1.2), and the modified
+// z-score of Iglewicz & Hoaglin (1993), used on the noisier
+// traceroute-derived series (§4.2.1).
+//
+// Both detectors are online: values arrive one per time window. Both follow
+// the paper's stationarity rule (§4.1.2): windows flagged as outliers are
+// removed from the detector's history so a persistent level shift keeps
+// registering as an outlier instead of becoming the new normal. Missing
+// windows are never outliers and leave the history untouched.
+package anomaly
+
+import (
+	"math"
+	"sort"
+)
+
+// MinObservations is the minimum number of history windows required before
+// a detector will flag anything; 20 is "widely considered as the minimum
+// recommended number of observations for robust outlier detection" (§4.2.1).
+const MinObservations = 20
+
+// Detector is an online outlier detector over one univariate series.
+type Detector interface {
+	// Add appends the next window's value and reports whether that window
+	// is an outlier. Implementations must not let flagged values pollute
+	// their history (stationarity preservation).
+	Add(v float64) bool
+	// Score returns the outlier score of the most recent Add; larger means
+	// more anomalous. The scale is detector specific.
+	Score() float64
+	// Ready reports whether enough history has accumulated to flag.
+	Ready() bool
+}
+
+// --- Modified z-score (Iglewicz & Hoaglin) ---
+
+// ZScoreDetector flags values whose modified z-score based on the median and
+// MAD of the history exceeds Threshold. The conventional cutoff is 3.5.
+type ZScoreDetector struct {
+	// Threshold is the |modified z| cutoff; 3.5 if zero.
+	Threshold float64
+	// MaxHistory bounds the history length; 0 means DefaultMaxHistory.
+	MaxHistory int
+
+	hist  []float64
+	score float64
+
+	// allSame fast path: most monitored series sit at a constant value
+	// for long stretches; tracking that avoids O(n log n) median work.
+	allSame bool
+	sameVal float64
+}
+
+// DefaultMaxHistory bounds detector history so long-running series adapt to
+// slow drift while staying robust to outliers.
+const DefaultMaxHistory = 96
+
+const zScoreConsistency = 0.6745 // E[MAD]/σ for the normal distribution
+
+// NewZScore returns a detector with the conventional 3.5 cutoff.
+func NewZScore() *ZScoreDetector { return &ZScoreDetector{} }
+
+func (d *ZScoreDetector) threshold() float64 {
+	if d.Threshold == 0 {
+		return 3.5
+	}
+	return d.Threshold
+}
+
+func (d *ZScoreDetector) maxHistory() int {
+	if d.MaxHistory == 0 {
+		return DefaultMaxHistory
+	}
+	return d.MaxHistory
+}
+
+// Ready reports whether the detector has MinObservations of history.
+func (d *ZScoreDetector) Ready() bool { return len(d.hist) >= MinObservations }
+
+// Score returns the |modified z| of the last added value.
+func (d *ZScoreDetector) Score() float64 { return d.score }
+
+// Add appends v and reports whether it is an outlier. Outliers are not
+// added to the history.
+func (d *ZScoreDetector) Add(v float64) bool {
+	if !d.Ready() {
+		if len(d.hist) == 0 {
+			d.allSame, d.sameVal = true, v
+		} else if v != d.sameVal {
+			d.allSame = false
+		}
+		d.hist = append(d.hist, v)
+		d.score = 0
+		return false
+	}
+	if d.allSame && v == d.sameVal {
+		d.score = 0
+		d.push(v)
+		return false
+	}
+	med := median(d.hist)
+	mad := medianAbsDev(d.hist, med)
+	if mad == 0 {
+		// Iglewicz–Hoaglin fallback: use the mean absolute deviation.
+		meanAD := meanAbsDev(d.hist, med)
+		if meanAD == 0 {
+			// Degenerate constant history: any different value is an
+			// outlier once ready.
+			if v != med {
+				d.score = math.Inf(1)
+				return true
+			}
+			d.score = 0
+			d.push(v)
+			return false
+		}
+		d.score = math.Abs(v-med) / (1.253314 * meanAD)
+	} else {
+		d.score = zScoreConsistency * math.Abs(v-med) / mad
+	}
+	if d.score > d.threshold() {
+		return true
+	}
+	d.push(v)
+	return false
+}
+
+func (d *ZScoreDetector) push(v float64) {
+	if v != d.sameVal {
+		d.allSame = false
+	}
+	d.hist = append(d.hist, v)
+	if max := d.maxHistory(); len(d.hist) > max {
+		d.hist = d.hist[len(d.hist)-max:]
+	}
+}
+
+// --- Bitmap detector (Wei et al.) ---
+
+// BitmapDetector implements the assumption-free anomaly bitmap detector:
+// the series is SAX-discretized, bigram frequency bitmaps are computed over
+// a lag window (the past) and a lead window (the recent values), and the
+// anomaly score is the squared distance between the normalized bitmaps. A
+// window is flagged when its score exceeds an adaptive threshold (mean + k·σ
+// of past scores).
+type BitmapDetector struct {
+	// Alphabet is the SAX alphabet size; 4 if zero (the paper's reference
+	// implementation default).
+	Alphabet int
+	// Lead is the lead-window length; 8 if zero.
+	Lead int
+	// Lag is the lag-window length; 32 if zero.
+	Lag int
+	// Sigmas is the adaptive threshold multiplier; 3 if zero.
+	Sigmas float64
+
+	hist      []float64
+	scores    []float64
+	lastScore float64
+
+	allSame bool
+	sameVal float64
+	started bool
+}
+
+// NewBitmap returns a detector with reference defaults.
+func NewBitmap() *BitmapDetector { return &BitmapDetector{} }
+
+func (d *BitmapDetector) alphabet() int {
+	if d.Alphabet == 0 {
+		return 4
+	}
+	return d.Alphabet
+}
+
+func (d *BitmapDetector) lead() int {
+	if d.Lead == 0 {
+		return 8
+	}
+	return d.Lead
+}
+
+func (d *BitmapDetector) lag() int {
+	if d.Lag == 0 {
+		return 32
+	}
+	return d.Lag
+}
+
+func (d *BitmapDetector) sigmas() float64 {
+	if d.Sigmas == 0 {
+		return 3
+	}
+	return d.Sigmas
+}
+
+// Ready reports whether enough history has accumulated.
+func (d *BitmapDetector) Ready() bool {
+	need := d.lead() + 4
+	if need < MinObservations {
+		need = MinObservations
+	}
+	return len(d.hist) >= need
+}
+
+// Score returns the bitmap distance of the most recent Add.
+func (d *BitmapDetector) Score() float64 { return d.lastScore }
+
+// Add appends v and reports whether it is an outlier. Flagged values are
+// removed from history to preserve stationarity.
+func (d *BitmapDetector) Add(v float64) bool {
+	if !d.started {
+		d.started, d.allSame, d.sameVal = true, true, v
+	} else if v != d.sameVal {
+		d.allSame = false
+	}
+	if d.allSame && len(d.hist) >= MinObservations {
+		// Constant series: zero score, never an outlier, O(1).
+		d.hist = append(d.hist, v)
+		d.scores = append(d.scores, 0)
+		d.lastScore = 0
+		if len(d.hist) > 4*DefaultMaxHistory {
+			d.hist = d.hist[len(d.hist)-2*DefaultMaxHistory:]
+			d.scores = d.scores[len(d.scores)-2*DefaultMaxHistory:]
+		}
+		return false
+	}
+	d.hist = append(d.hist, v)
+	if len(d.hist) < d.lead()+4 || len(d.hist) < MinObservations {
+		d.lastScore = 0
+		return false
+	}
+	lead := d.hist[len(d.hist)-d.lead():]
+	lagStart := len(d.hist) - d.lead() - d.lag()
+	if lagStart < 0 {
+		lagStart = 0
+	}
+	lag := d.hist[lagStart : len(d.hist)-d.lead()]
+	d.lastScore = bitmapDistance(lag, lead, d.alphabet())
+
+	outlier := false
+	if len(d.scores) >= MinObservations {
+		m, s := meanStd(d.scores)
+		if d.lastScore > m+d.sigmas()*s && d.lastScore > 1e-12 {
+			outlier = true
+		}
+	}
+	if outlier {
+		// Remove the offending value so persistent shifts keep flagging.
+		d.hist = d.hist[:len(d.hist)-1]
+		return true
+	}
+	d.scores = append(d.scores, d.lastScore)
+	if len(d.scores) > 4*DefaultMaxHistory {
+		d.scores = d.scores[len(d.scores)-2*DefaultMaxHistory:]
+	}
+	if len(d.hist) > 4*DefaultMaxHistory {
+		d.hist = d.hist[len(d.hist)-2*DefaultMaxHistory:]
+	}
+	return false
+}
+
+// bitmapDistance computes the squared distance between the normalized
+// bigram frequency bitmaps of the SAX words of the two windows. Values are
+// z-normalized with the *lag* window's statistics so that a level shift in
+// the lead window pushes its values into extreme symbols instead of
+// re-centering the discretization around the shift.
+func bitmapDistance(lag, lead []float64, alphabet int) float64 {
+	if len(lag) == 0 || len(lead) == 0 {
+		return 0
+	}
+	m, s := meanStd(lag)
+	if s == 0 {
+		// Constant lag window: any deviation in the lead window is scaled
+		// against a nominal spread so different values land in extreme
+		// symbols while identical values score zero.
+		allEqual := true
+		for _, v := range lead {
+			if v != m {
+				allEqual = false
+				break
+			}
+		}
+		if allEqual {
+			return 0
+		}
+		s = math.Max(1e-9, math.Abs(m)*1e-6)
+	}
+	sym := func(v float64) int { return saxSymbol((v-m)/s, alphabet) }
+	lagBM := bigramBitmap(lag, sym, alphabet)
+	leadBM := bigramBitmap(lead, sym, alphabet)
+	var dist float64
+	for i := range lagBM {
+		diff := lagBM[i] - leadBM[i]
+		dist += diff * diff
+	}
+	return dist
+}
+
+// gaussianBreakpoints per SAX for alphabet sizes 2..8.
+var gaussianBreakpoints = map[int][]float64{
+	2: {0},
+	3: {-0.43, 0.43},
+	4: {-0.67, 0, 0.67},
+	5: {-0.84, -0.25, 0.25, 0.84},
+	6: {-0.97, -0.43, 0, 0.43, 0.97},
+	7: {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+	8: {-1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15},
+}
+
+func saxSymbol(z float64, alphabet int) int {
+	bps, ok := gaussianBreakpoints[alphabet]
+	if !ok {
+		bps = gaussianBreakpoints[4]
+		alphabet = 4
+	}
+	for i, bp := range bps {
+		if z < bp {
+			return i
+		}
+	}
+	return alphabet - 1
+}
+
+func bigramBitmap(window []float64, sym func(float64) int, alphabet int) []float64 {
+	bm := make([]float64, alphabet*alphabet)
+	if len(window) < 2 {
+		return bm
+	}
+	var total float64
+	for i := 1; i < len(window); i++ {
+		a, b := sym(window[i-1]), sym(window[i])
+		bm[a*alphabet+b]++
+		total++
+	}
+	if total > 0 {
+		// Normalize to a probability distribution so window lengths do not
+		// bias the distance.
+		for i := range bm {
+			bm[i] /= total
+		}
+	}
+	return bm
+}
+
+// --- small statistics helpers ---
+
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+func medianAbsDev(xs []float64, med float64) float64 {
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return median(devs)
+}
+
+func meanAbsDev(xs []float64, med float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x - med)
+	}
+	return sum / float64(len(xs))
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Median exposes the median for callers that need summary statistics.
+func Median(xs []float64) float64 { return median(xs) }
+
+// MeanStd exposes mean and standard deviation.
+func MeanStd(xs []float64) (float64, float64) { return meanStd(xs) }

@@ -1,0 +1,441 @@
+package bgp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rrr/internal/trie"
+)
+
+// MRT (RFC 6396) support: the subset needed to consume RouteViews/RIS
+// update archives — BGP4MP / BGP4MP_ET records carrying BGP UPDATE messages
+// with IPv4 NLRI — plus a writer so archives can be regenerated for tests
+// and tooling. Each MRT record is:
+//
+//	timestamp   uint32
+//	type        uint16
+//	subtype     uint16
+//	length      uint32
+//	message     [length]byte
+//
+// BGP4MP_MESSAGE_AS4 wraps a raw BGP message (RFC 4271) with 4-byte peer
+// ASes; the BGP UPDATE body carries withdrawn routes, path attributes
+// (ORIGIN, AS_PATH, NEXT_HOP, MED, COMMUNITIES, ...), and NLRI.
+
+// MRT record types and subtypes we understand.
+const (
+	mrtTypeBGP4MP   = 16
+	mrtTypeBGP4MPET = 17
+
+	mrtSubtypeMessage    = 1 // 2-byte peer ASes
+	mrtSubtypeMessageAS4 = 4 // 4-byte peer ASes
+)
+
+// BGP message types.
+const (
+	bgpMsgUpdate = 2
+)
+
+// BGP path attribute type codes.
+const (
+	attrOrigin      = 1
+	attrASPath      = 2
+	attrNextHop     = 3
+	attrMED         = 4
+	attrCommunities = 8
+)
+
+// AS_PATH segment types.
+const (
+	asPathSetSegment      = 1
+	asPathSequenceSegment = 2
+)
+
+// ErrMRTTruncated indicates a cut-off MRT stream.
+var ErrMRTTruncated = errors.New("bgp: truncated MRT record")
+
+// MRTReader parses BGP updates out of an MRT archive. Records of types
+// other than BGP4MP(_ET) update messages are skipped silently, as are BGP
+// OPEN/KEEPALIVE/NOTIFICATION messages, matching how update archives are
+// consumed in practice.
+type MRTReader struct {
+	r *bufio.Reader
+	// SkipIPv6 controls whether IPv6 BGP4MP records are dropped (the
+	// paper's pipeline is IPv4-only); default true.
+	SkipIPv6 bool
+}
+
+// NewMRTReader wraps r.
+func NewMRTReader(r io.Reader) *MRTReader {
+	return &MRTReader{r: bufio.NewReaderSize(r, 64*1024), SkipIPv6: true}
+}
+
+// Read returns the next batch of updates parsed from one MRT record. A
+// single BGP UPDATE can carry several prefixes and withdrawals, each of
+// which becomes one Update. Read skips non-update records and returns
+// io.EOF at a clean end of stream.
+func (mr *MRTReader) Read() ([]Update, error) {
+	for {
+		hdr := make([]byte, 12)
+		if _, err := io.ReadFull(mr.r, hdr[:1]); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if _, err := io.ReadFull(mr.r, hdr[1:]); err != nil {
+			return nil, ErrMRTTruncated
+		}
+		ts := binary.BigEndian.Uint32(hdr[0:4])
+		typ := binary.BigEndian.Uint16(hdr[4:6])
+		sub := binary.BigEndian.Uint16(hdr[6:8])
+		length := binary.BigEndian.Uint32(hdr[8:12])
+		if length > 1<<24 {
+			return nil, fmt.Errorf("bgp: implausible MRT record length %d", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(mr.r, body); err != nil {
+			return nil, ErrMRTTruncated
+		}
+		tsec := int64(ts)
+		if typ == mrtTypeBGP4MPET {
+			// Extended timestamp: 4 extra microsecond bytes precede the
+			// message.
+			if len(body) < 4 {
+				return nil, ErrMRTTruncated
+			}
+			body = body[4:]
+		}
+		if typ != mrtTypeBGP4MP && typ != mrtTypeBGP4MPET {
+			continue
+		}
+		if sub != mrtSubtypeMessage && sub != mrtSubtypeMessageAS4 {
+			continue
+		}
+		ups, err := mr.parseBGP4MP(body, sub == mrtSubtypeMessageAS4, tsec)
+		if err != nil {
+			return nil, err
+		}
+		if ups == nil {
+			continue // IPv6 or non-update message
+		}
+		return ups, nil
+	}
+}
+
+// parseBGP4MP decodes a BGP4MP_MESSAGE(_AS4) body.
+func (mr *MRTReader) parseBGP4MP(b []byte, as4 bool, ts int64) ([]Update, error) {
+	asLen := 2
+	if as4 {
+		asLen = 4
+	}
+	// peer AS, local AS, ifindex, AFI
+	need := 2*asLen + 2 + 2
+	if len(b) < need {
+		return nil, ErrMRTTruncated
+	}
+	var peerAS ASN
+	if as4 {
+		peerAS = ASN(binary.BigEndian.Uint32(b[0:4]))
+	} else {
+		peerAS = ASN(binary.BigEndian.Uint16(b[0:2]))
+	}
+	afi := binary.BigEndian.Uint16(b[need-2 : need])
+	b = b[need:]
+	var peerIP uint32
+	switch afi {
+	case 1: // IPv4: peer IP + local IP, 4 bytes each
+		if len(b) < 8 {
+			return nil, ErrMRTTruncated
+		}
+		peerIP = binary.BigEndian.Uint32(b[0:4])
+		b = b[8:]
+	case 2: // IPv6: 16 bytes each
+		if mr.SkipIPv6 {
+			return nil, nil
+		}
+		if len(b) < 32 {
+			return nil, ErrMRTTruncated
+		}
+		b = b[32:]
+	default:
+		return nil, fmt.Errorf("bgp: unknown BGP4MP AFI %d", afi)
+	}
+
+	// Raw BGP message: 16-byte marker, 2-byte length, 1-byte type.
+	if len(b) < 19 {
+		return nil, ErrMRTTruncated
+	}
+	msgLen := int(binary.BigEndian.Uint16(b[16:18]))
+	msgType := b[18]
+	if msgLen < 19 || msgLen > len(b) {
+		return nil, ErrMRTTruncated
+	}
+	if msgType != bgpMsgUpdate {
+		return nil, nil
+	}
+	return parseBGPUpdate(b[19:msgLen], as4, ts, peerIP, peerAS)
+}
+
+// parseBGPUpdate decodes the body of a BGP UPDATE message (after the
+// 19-byte header) into Updates.
+func parseBGPUpdate(b []byte, as4 bool, ts int64, peerIP uint32, peerAS ASN) ([]Update, error) {
+	if len(b) < 4 {
+		return nil, ErrMRTTruncated
+	}
+	wlen := int(binary.BigEndian.Uint16(b[0:2]))
+	if 2+wlen+2 > len(b) {
+		return nil, ErrMRTTruncated
+	}
+	withdrawn, err := parseNLRI(b[2 : 2+wlen])
+	if err != nil {
+		return nil, err
+	}
+	alen := int(binary.BigEndian.Uint16(b[2+wlen : 4+wlen]))
+	if 4+wlen+alen > len(b) {
+		return nil, ErrMRTTruncated
+	}
+	attrs := b[4+wlen : 4+wlen+alen]
+	nlri, err := parseNLRI(b[4+wlen+alen:])
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		path  Path
+		comms Communities
+		med   uint32
+	)
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, ErrMRTTruncated
+		}
+		flags := attrs[0]
+		code := attrs[1]
+		var alen int
+		var hdr int
+		if flags&0x10 != 0 { // extended length
+			if len(attrs) < 4 {
+				return nil, ErrMRTTruncated
+			}
+			alen = int(binary.BigEndian.Uint16(attrs[2:4]))
+			hdr = 4
+		} else {
+			alen = int(attrs[2])
+			hdr = 3
+		}
+		if hdr+alen > len(attrs) {
+			return nil, ErrMRTTruncated
+		}
+		val := attrs[hdr : hdr+alen]
+		switch code {
+		case attrASPath:
+			p, err := parseASPath(val, as4)
+			if err != nil {
+				return nil, err
+			}
+			path = p
+		case attrMED:
+			if len(val) == 4 {
+				med = binary.BigEndian.Uint32(val)
+			}
+		case attrCommunities:
+			if len(val)%4 != 0 {
+				return nil, fmt.Errorf("bgp: bad COMMUNITIES length %d", len(val))
+			}
+			for i := 0; i+4 <= len(val); i += 4 {
+				comms = append(comms, Community(binary.BigEndian.Uint32(val[i:i+4])))
+			}
+		}
+		attrs = attrs[hdr+alen:]
+	}
+
+	var out []Update
+	for _, p := range withdrawn {
+		out = append(out, Update{
+			Time: ts, PeerIP: peerIP, PeerAS: peerAS, Type: Withdraw, Prefix: p,
+		})
+	}
+	for _, p := range nlri {
+		out = append(out, Update{
+			Time: ts, PeerIP: peerIP, PeerAS: peerAS, Type: Announce,
+			Prefix: p, ASPath: path.Clone(), Communities: comms.Clone(), MED: med,
+		})
+	}
+	return out, nil
+}
+
+// parseNLRI decodes the packed (length, prefix-bytes) NLRI encoding.
+func parseNLRI(b []byte) ([]trie.Prefix, error) {
+	var out []trie.Prefix
+	for len(b) > 0 {
+		plen := int(b[0])
+		if plen > 32 {
+			return nil, fmt.Errorf("bgp: bad NLRI prefix length %d", plen)
+		}
+		nbytes := (plen + 7) / 8
+		if 1+nbytes > len(b) {
+			return nil, ErrMRTTruncated
+		}
+		var addr uint32
+		for i := 0; i < nbytes; i++ {
+			addr |= uint32(b[1+i]) << (24 - 8*i)
+		}
+		out = append(out, trie.MakePrefix(addr, uint8(plen)))
+		b = b[1+nbytes:]
+	}
+	return out, nil
+}
+
+// parseASPath flattens AS_SEQUENCE segments; AS_SET members are appended in
+// order (the paper's pipeline treats sets as opaque path members).
+func parseASPath(b []byte, as4 bool) (Path, error) {
+	width := 2
+	if as4 {
+		width = 4
+	}
+	var out Path
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, ErrMRTTruncated
+		}
+		segType := b[0]
+		n := int(b[1])
+		if segType != asPathSetSegment && segType != asPathSequenceSegment {
+			return nil, fmt.Errorf("bgp: unknown AS_PATH segment type %d", segType)
+		}
+		if 2+n*width > len(b) {
+			return nil, ErrMRTTruncated
+		}
+		for i := 0; i < n; i++ {
+			off := 2 + i*width
+			if as4 {
+				out = append(out, ASN(binary.BigEndian.Uint32(b[off:off+4])))
+			} else {
+				out = append(out, ASN(binary.BigEndian.Uint16(b[off:off+2])))
+			}
+		}
+		b = b[2+n*width:]
+	}
+	return out, nil
+}
+
+// MRTWriter produces BGP4MP_MESSAGE_AS4 MRT records, one BGP UPDATE per
+// Update (withdrawals and announcements are not batched).
+type MRTWriter struct {
+	w *bufio.Writer
+}
+
+// NewMRTWriter wraps w.
+func NewMRTWriter(w io.Writer) *MRTWriter {
+	return &MRTWriter{w: bufio.NewWriter(w)}
+}
+
+// Write emits one update as an MRT record.
+func (mw *MRTWriter) Write(u Update) error {
+	msg := encodeBGPUpdate(u)
+	// BGP4MP_MESSAGE_AS4 body: peerAS(4) localAS(4) ifindex(2) afi(2)
+	// peerIP(4) localIP(4) + message.
+	body := make([]byte, 0, 20+len(msg))
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(u.PeerAS))
+	body = append(body, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:], 0) // local AS
+	body = append(body, tmp[:]...)
+	body = append(body, 0, 0) // ifindex
+	body = append(body, 0, 1) // AFI IPv4
+	binary.BigEndian.PutUint32(tmp[:], u.PeerIP)
+	body = append(body, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:], 0) // local IP
+	body = append(body, tmp[:]...)
+	body = append(body, msg...)
+
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(u.Time))
+	binary.BigEndian.PutUint16(hdr[4:6], mrtTypeBGP4MP)
+	binary.BigEndian.PutUint16(hdr[6:8], mrtSubtypeMessageAS4)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := mw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := mw.w.Write(body)
+	return err
+}
+
+// Flush flushes the underlying buffer.
+func (mw *MRTWriter) Flush() error { return mw.w.Flush() }
+
+// encodeBGPUpdate builds a raw BGP UPDATE message for one Update.
+func encodeBGPUpdate(u Update) []byte {
+	var withdrawn, attrs, nlri []byte
+	if u.Type == Withdraw {
+		withdrawn = encodeNLRI(u.Prefix)
+	} else {
+		nlri = encodeNLRI(u.Prefix)
+		attrs = appendAttr(attrs, attrOrigin, []byte{0}) // IGP
+		// AS_PATH: one AS_SEQUENCE segment, 4-byte ASes.
+		seg := make([]byte, 2+4*len(u.ASPath))
+		seg[0] = asPathSequenceSegment
+		seg[1] = byte(len(u.ASPath))
+		for i, as := range u.ASPath {
+			binary.BigEndian.PutUint32(seg[2+4*i:], uint32(as))
+		}
+		attrs = appendAttr(attrs, attrASPath, seg)
+		nh := make([]byte, 4)
+		binary.BigEndian.PutUint32(nh, u.PeerIP)
+		attrs = appendAttr(attrs, attrNextHop, nh)
+		if u.MED != 0 {
+			med := make([]byte, 4)
+			binary.BigEndian.PutUint32(med, u.MED)
+			attrs = appendAttr(attrs, attrMED, med)
+		}
+		if len(u.Communities) > 0 {
+			cv := make([]byte, 4*len(u.Communities))
+			for i, c := range u.Communities {
+				binary.BigEndian.PutUint32(cv[4*i:], uint32(c))
+			}
+			attrs = appendAttr(attrs, attrCommunities, cv)
+		}
+	}
+
+	bodyLen := 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
+	msg := make([]byte, 19, 19+bodyLen)
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff // marker
+	}
+	binary.BigEndian.PutUint16(msg[16:18], uint16(19+bodyLen))
+	msg[18] = bgpMsgUpdate
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], uint16(len(withdrawn)))
+	msg = append(msg, tmp[:]...)
+	msg = append(msg, withdrawn...)
+	binary.BigEndian.PutUint16(tmp[:], uint16(len(attrs)))
+	msg = append(msg, tmp[:]...)
+	msg = append(msg, attrs...)
+	msg = append(msg, nlri...)
+	return msg
+}
+
+func appendAttr(dst []byte, code byte, val []byte) []byte {
+	flags := byte(0x40) // transitive
+	if len(val) > 255 {
+		flags |= 0x10 // extended length
+		dst = append(dst, flags, code, byte(len(val)>>8), byte(len(val)))
+	} else {
+		dst = append(dst, flags, code, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+func encodeNLRI(p trie.Prefix) []byte {
+	nbytes := (int(p.Len) + 7) / 8
+	out := make([]byte, 1+nbytes)
+	out[0] = p.Len
+	for i := 0; i < nbytes; i++ {
+		out[1+i] = byte(p.Addr >> (24 - 8*i))
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package bgp
+
+import (
+	"container/heap"
+	"io"
+)
+
+// UpdateSource is any incremental producer of BGP updates: the binary/text
+// codec readers, the MRT reader (via MRTSource), or a simulator feed.
+// Read returns io.EOF at end of stream.
+type UpdateSource interface {
+	Read() (Update, error)
+}
+
+// MRTSource adapts an MRTReader (which yields batches) to UpdateSource.
+type MRTSource struct {
+	r   *MRTReader
+	buf []Update
+}
+
+// NewMRTSource wraps an MRTReader.
+func NewMRTSource(r *MRTReader) *MRTSource { return &MRTSource{r: r} }
+
+// Read implements UpdateSource.
+func (s *MRTSource) Read() (Update, error) {
+	for len(s.buf) == 0 {
+		batch, err := s.r.Read()
+		if err != nil {
+			return Update{}, err
+		}
+		s.buf = batch
+	}
+	u := s.buf[0]
+	s.buf = s.buf[1:]
+	return u, nil
+}
+
+// SliceSource serves updates from memory.
+type SliceSource struct {
+	updates []Update
+	i       int
+}
+
+// NewSliceSource wraps a slice.
+func NewSliceSource(us []Update) *SliceSource { return &SliceSource{updates: us} }
+
+// Read implements UpdateSource.
+func (s *SliceSource) Read() (Update, error) {
+	if s.i >= len(s.updates) {
+		return Update{}, io.EOF
+	}
+	u := s.updates[s.i]
+	s.i++
+	return u, nil
+}
+
+// Merger interleaves several per-collector update streams into one
+// time-ordered stream, the way BGPStream combines RouteViews and RIS
+// archives (paper §4.1.1: a 15-minute window combines both projects'
+// dumps). Each source must itself be time-ordered.
+type Merger struct {
+	h      mergeHeap
+	inited bool
+	err    error
+}
+
+type mergeItem struct {
+	u   Update
+	src UpdateSource
+	idx int // source index, stabilizes ordering for equal timestamps
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].u.Time != h[j].u.Time {
+		return h[i].u.Time < h[j].u.Time
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewMerger builds a merger over the sources.
+func NewMerger(sources ...UpdateSource) *Merger {
+	m := &Merger{}
+	for i, s := range sources {
+		u, err := s.Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			m.err = err
+			continue
+		}
+		m.h = append(m.h, mergeItem{u: u, src: s, idx: i})
+	}
+	heap.Init(&m.h)
+	m.inited = true
+	return m
+}
+
+// Read implements UpdateSource: it returns the globally next update by
+// timestamp.
+func (m *Merger) Read() (Update, error) {
+	if m.err != nil {
+		return Update{}, m.err
+	}
+	if m.h.Len() == 0 {
+		return Update{}, io.EOF
+	}
+	top := m.h[0]
+	next, err := top.src.Read()
+	switch {
+	case err == io.EOF:
+		heap.Pop(&m.h)
+	case err != nil:
+		m.err = err
+		heap.Pop(&m.h)
+	default:
+		m.h[0] = mergeItem{u: next, src: top.src, idx: top.idx}
+		heap.Fix(&m.h, 0)
+	}
+	return top.u, nil
+}
+
+// Windows iterates a time-ordered update stream in fixed windows: fn is
+// called once per window with its updates (empty windows between updates
+// are invoked with nil so window-driven consumers advance uniformly, per
+// the engine's CloseWindow contract).
+func Windows(src UpdateSource, windowSec int64, fn func(windowStart int64, updates []Update) error) error {
+	var (
+		cur     []Update
+		curIdx  int64
+		started bool
+	)
+	flushTo := func(idx int64) error {
+		for ; curIdx < idx; curIdx++ {
+			if err := fn(curIdx*windowSec, cur); err != nil {
+				return err
+			}
+			cur = nil
+		}
+		return nil
+	}
+	for {
+		u, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		idx := u.Time / windowSec
+		if !started {
+			started = true
+			curIdx = idx
+		}
+		if idx > curIdx {
+			if err := flushTo(idx); err != nil {
+				return err
+			}
+		}
+		cur = append(cur, u)
+	}
+	if started {
+		return flushTo(curIdx + 1)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package bgp
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rrr/internal/trie"
+)
+
+func mkUpdates(n int, seed int64, peer uint32) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Update, n)
+	t := int64(0)
+	for i := range out {
+		t += int64(rng.Intn(500))
+		out[i] = Update{
+			Time: t, PeerIP: peer, PeerAS: ASN(peer), Type: Announce,
+			Prefix: trie.MakePrefix(rng.Uint32(), 16),
+			ASPath: Path{ASN(peer), ASN(rng.Intn(100) + 1)},
+		}
+	}
+	return out
+}
+
+func drain(t *testing.T, src UpdateSource) []Update {
+	t.Helper()
+	var out []Update
+	for {
+		u, err := src.Read()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, u)
+	}
+}
+
+func TestMergerTimeOrder(t *testing.T) {
+	a := mkUpdates(100, 1, 0x0a)
+	b := mkUpdates(80, 2, 0x0b)
+	c := mkUpdates(60, 3, 0x0c)
+	m := NewMerger(NewSliceSource(a), NewSliceSource(b), NewSliceSource(c))
+	got := drain(t, m)
+	if len(got) != 240 {
+		t.Fatalf("merged %d; want 240", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Time < got[j].Time }) {
+		t.Fatal("merged stream not time ordered")
+	}
+	// Per-source order preserved.
+	var fromA []Update
+	for _, u := range got {
+		if u.PeerIP == 0x0a {
+			fromA = append(fromA, u)
+		}
+	}
+	if len(fromA) != len(a) {
+		t.Fatalf("lost updates from source a: %d", len(fromA))
+	}
+	for i := range a {
+		if fromA[i].Prefix != a[i].Prefix {
+			t.Fatal("source order not preserved")
+		}
+	}
+}
+
+func TestMergerEmptySources(t *testing.T) {
+	m := NewMerger(NewSliceSource(nil), NewSliceSource(nil))
+	if got := drain(t, m); len(got) != 0 {
+		t.Fatalf("empty merge produced %d", len(got))
+	}
+	m2 := NewMerger()
+	if _, err := m2.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestMRTSourceAdapts(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewMRTWriter(&buf)
+	ups := mkUpdates(20, 4, 0x0d)
+	for _, u := range ups {
+		if err := w.Write(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	src := NewMRTSource(NewMRTReader(&buf))
+	got := drain(t, src)
+	if len(got) != 20 {
+		t.Fatalf("MRT source yielded %d; want 20", len(got))
+	}
+}
+
+func TestWindowsIteration(t *testing.T) {
+	ups := []Update{
+		{Time: 100}, {Time: 850},
+		{Time: 950},
+		// window 2 (1800..2699) empty
+		{Time: 2700},
+	}
+	var starts []int64
+	var counts []int
+	err := Windows(NewSliceSource(ups), 900, func(ws int64, batch []Update) error {
+		starts = append(starts, ws)
+		counts = append(counts, len(batch))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStarts := []int64{0, 900, 1800, 2700}
+	wantCounts := []int{2, 1, 0, 1}
+	if len(starts) != len(wantStarts) {
+		t.Fatalf("windows = %v", starts)
+	}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] || counts[i] != wantCounts[i] {
+			t.Fatalf("window %d: start=%d count=%d; want %d,%d",
+				i, starts[i], counts[i], wantStarts[i], wantCounts[i])
+		}
+	}
+}
+
+func TestWindowsEmptyStream(t *testing.T) {
+	called := false
+	err := Windows(NewSliceSource(nil), 900, func(int64, []Update) error {
+		called = true
+		return nil
+	})
+	if err != nil || called {
+		t.Fatalf("empty stream: err=%v called=%v", err, called)
+	}
+}
+
+func TestWindowsPropagatesError(t *testing.T) {
+	ups := mkUpdates(10, 5, 1)
+	wantErr := io.ErrClosedPipe
+	err := Windows(NewSliceSource(ups), 100, func(int64, []Update) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v; want %v", err, wantErr)
+	}
+}
+
+func BenchmarkMergerRead(b *testing.B) {
+	sources := make([]UpdateSource, 8)
+	for i := range sources {
+		sources[i] = NewSliceSource(mkUpdates(100000, int64(i), uint32(i)))
+	}
+	m := NewMerger(sources...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Read(); err == io.EOF {
+			b.StopTimer()
+			sources2 := make([]UpdateSource, 8)
+			for j := range sources2 {
+				sources2[j] = NewSliceSource(mkUpdates(100000, int64(j), uint32(j)))
+			}
+			m = NewMerger(sources2...)
+			b.StartTimer()
+		}
+	}
+}

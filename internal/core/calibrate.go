@@ -1,0 +1,495 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+	"rrr/internal/corpus"
+	"rrr/internal/traceroute"
+)
+
+// Outcome is the result of evaluating one potential signal against a
+// refresh measurement (§4.3.1).
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeTP: the signal indicated a change and the portion changed.
+	OutcomeTP Outcome = iota
+	// OutcomeFP: the signal indicated a change but the portion is intact.
+	OutcomeFP
+	// OutcomeTN: no signal, and the portion is intact.
+	OutcomeTN
+	// OutcomeFN: no signal, but the portion changed.
+	OutcomeFN
+)
+
+// calibKey identifies a (traceroute vantage point, potential signal) pair.
+// The paper indexes tallies by the VP that issued the traceroute; we use
+// the source address.
+type calibKey struct {
+	src     uint32
+	monitor int
+}
+
+// tally keeps the last l outcomes per (VP, signal).
+type tally struct {
+	ring []Outcome
+	next int
+	full bool
+}
+
+func (t *tally) add(o Outcome, l int) {
+	if len(t.ring) < l {
+		t.ring = append(t.ring, o)
+		if len(t.ring) == l {
+			t.full = true
+		}
+		return
+	}
+	t.ring[t.next] = o
+	t.next = (t.next + 1) % l
+	t.full = true
+}
+
+func (t *tally) rates() (tpr, tnr float64, ok bool) {
+	if !t.full {
+		return 0, 0, false
+	}
+	var tp, fp, tn, fn int
+	for _, o := range t.ring {
+		switch o {
+		case OutcomeTP:
+			tp++
+		case OutcomeFP:
+			fp++
+		case OutcomeTN:
+			tn++
+		case OutcomeFN:
+			fn++
+		}
+	}
+	if tp+fn > 0 {
+		tpr = float64(tp) / float64(tp+fn)
+	}
+	if tn+fp > 0 {
+		tnr = float64(tn) / float64(tn+fp)
+	}
+	return tpr, tnr, true
+}
+
+// Calibrator maintains §4.3.1's per-(VP, signal) TPR/TNR tallies and
+// Appendix B's community reputation.
+type Calibrator struct {
+	l       int
+	fpQuota int
+	stats   map[calibKey]*tally
+
+	commFP     map[bgp.Community]int
+	commTP     map[bgp.Community]int
+	commPruned map[bgp.Community]bool
+}
+
+// NewCalibrator returns a calibrator with sliding window length l and a
+// community false-positive quota.
+func NewCalibrator(l, fpQuota int) *Calibrator {
+	return &Calibrator{
+		l:          l,
+		fpQuota:    fpQuota,
+		stats:      make(map[calibKey]*tally),
+		commFP:     make(map[bgp.Community]int),
+		commTP:     make(map[bgp.Community]int),
+		commPruned: make(map[bgp.Community]bool),
+	}
+}
+
+// Record adds one outcome for (src VP, monitor).
+func (c *Calibrator) Record(src uint32, monitor int, o Outcome) {
+	k := calibKey{src: src, monitor: monitor}
+	t := c.stats[k]
+	if t == nil {
+		t = &tally{}
+		c.stats[k] = t
+	}
+	t.add(o, c.l)
+}
+
+// Rates returns (TPR, TNR) for a (VP, signal); ok is false while the
+// sliding window is not yet full (uninitialized per §4.3.1).
+func (c *Calibrator) Rates(src uint32, monitor int) (tpr, tnr float64, ok bool) {
+	t := c.stats[calibKey{src: src, monitor: monitor}]
+	if t == nil {
+		return 0, 0, false
+	}
+	return t.rates()
+}
+
+// RecordCommunityOutcome feeds Appendix B's learning: communities whose
+// signals keep failing are pruned.
+func (c *Calibrator) RecordCommunityOutcome(comm bgp.Community, truePositive bool) {
+	if truePositive {
+		c.commTP[comm]++
+		return
+	}
+	c.commFP[comm]++
+	if c.commFP[comm] >= c.fpQuota && c.commTP[comm] == 0 {
+		c.commPruned[comm] = true
+	}
+}
+
+// CommunityPruned reports whether the community has been learned to be
+// unrelated to path changes.
+func (c *Calibrator) CommunityPruned(comm bgp.Community) bool {
+	return c.commPruned[comm]
+}
+
+// PrunedCommunityCount reports how many communities calibration disabled
+// (Fig 13's converging quantity).
+func (c *Calibrator) PrunedCommunityCount() int { return len(c.commPruned) }
+
+// --- Refresh outcome evaluation ---
+
+// portionChanged reports whether any of the old entry's border crossings at
+// the given indices is missing from the new measurement's border path.
+func portionChanged(old *corpus.Entry, borders []int, new *corpus.Entry) bool {
+	if len(borders) == 0 {
+		// Whole-path potential signal: any border-or-AS-level difference.
+		return corpus.ClassifyEntry(old, new) != bordermap.Unchanged
+	}
+	// Align by AS pair: a crossing hidden by unresponsive hops in the new
+	// measurement is a wildcard, not a change.
+	newByPair := make(map[[2]bgp.ASN]map[string]bool, len(new.Borders))
+	for _, b := range new.Borders {
+		pair := [2]bgp.ASN{b.FromAS, b.ToAS}
+		if newByPair[pair] == nil {
+			newByPair[pair] = make(map[string]bool)
+		}
+		newByPair[pair][b.Key()] = true
+	}
+	for _, bi := range borders {
+		if bi >= len(old.Borders) {
+			continue
+		}
+		b := old.Borders[bi]
+		keys, visible := newByPair[[2]bgp.ASN{b.FromAS, b.ToAS}]
+		if !visible {
+			continue
+		}
+		if !keys[b.Key()] {
+			return true
+		}
+	}
+	return false
+}
+
+// EvaluateRefresh scores every potential signal of the pair against a new
+// measurement, updating the calibrator (including community reputations),
+// and returns the change classification. It does not modify registrations;
+// call Reregister afterwards to swap in the new measurement.
+func (e *Engine) EvaluateRefresh(newEntry *corpus.Entry) (bordermap.ChangeClass, bool) {
+	old, ok := e.entries[newEntry.Key]
+	if !ok {
+		return bordermap.Unchanged, false
+	}
+	signaled := make(map[int][]Signal)
+	for _, s := range e.active[newEntry.Key] {
+		signaled[s.MonitorID] = append(signaled[s.MonitorID], s)
+	}
+	for _, reg := range e.regs[newEntry.Key] {
+		changed := portionChanged(old, reg.Borders, newEntry)
+		sigs, wasSignaled := signaled[reg.MonitorID]
+		var o Outcome
+		switch {
+		case wasSignaled && changed:
+			o = OutcomeTP
+		case wasSignaled && !changed:
+			o = OutcomeFP
+		case !wasSignaled && !changed:
+			o = OutcomeTN
+		default:
+			o = OutcomeFN
+		}
+		e.Calib.Record(newEntry.Key.Src, reg.MonitorID, o)
+		if reg.Technique == TechBGPCommunity && wasSignaled {
+			for _, s := range sigs {
+				if s.Comm != 0 {
+					e.Calib.RecordCommunityOutcome(s.Comm, changed)
+				}
+			}
+		}
+	}
+	return corpus.ClassifyEntry(old, newEntry), true
+}
+
+// Reregister replaces the pair's entry and monitors with a fresh
+// measurement, clearing its active signals.
+func (e *Engine) Reregister(newEntry *corpus.Entry) {
+	e.RemovePair(newEntry.Key)
+	e.AddCorpusEntry(newEntry)
+}
+
+// RemovePair unregisters a corpus pair from every technique.
+func (e *Engine) RemovePair(k traceroute.Key) {
+	delete(e.entries, k)
+	delete(e.regs, k)
+	delete(e.active, k)
+
+	stash := make(map[string]*retiredState)
+	for _, m := range e.aspByKey[k] {
+		m.dead = true
+		e.deadASP++
+		stash["asp:"+m.suffix.String()] = &retiredState{
+			det: m.det, baseline: m.baseline, hasBase: m.hasBase,
+		}
+	}
+	delete(e.aspByKey, k)
+	if e.deadASP > len(e.asp)/2 && len(e.asp) > 64 {
+		alive := e.asp[:0]
+		for _, m := range e.asp {
+			if !m.dead {
+				alive = append(alive, m)
+			}
+		}
+		e.asp = alive
+		e.deadASP = 0
+	}
+
+	aliveBursts := e.bursts[:0]
+	for _, bm := range e.bursts {
+		if bm.key != k {
+			aliveBursts = append(aliveBursts, bm)
+			continue
+		}
+		stash["burst:"+bm.suffix.String()] = &retiredState{det: bm.det}
+	}
+	e.bursts = aliveBursts
+	if len(stash) > 0 {
+		e.retired[k] = stash
+	}
+
+	if cm := e.comms[k]; cm != nil {
+		cm.dead = true
+	}
+	delete(e.comms, k)
+
+	for _, mon := range e.subByKey[k] {
+		ws := mon.watchers[:0]
+		for _, w := range mon.watchers {
+			if w.key != k {
+				ws = append(ws, w)
+			}
+		}
+		mon.watchers = ws
+	}
+	delete(e.subByKey, k)
+
+	for _, rs := range e.brsByKey[k] {
+		ws := rs.watchers[:0]
+		for _, w := range rs.watchers {
+			if w.key != k {
+				ws = append(ws, w)
+			}
+		}
+		rs.watchers = ws
+	}
+	delete(e.brsByKey, k)
+
+	if keys := e.destToKeys[k.Dst]; len(keys) > 0 {
+		out := keys[:0]
+		for _, kk := range keys {
+			if kk != k {
+				out = append(out, kk)
+			}
+		}
+		e.destToKeys[k.Dst] = out
+	}
+}
+
+// --- Refresh planning (§4.3.1) ---
+
+// RefreshPlan selects which corpus pairs to refresh given the probing
+// budget, implementing the five-step procedure of §4.3.1: pick the VP with
+// the highest relative TPR, compute a per-VP refresh probability combining
+// the TPR of firing signals and the TNR of silent potential signals, spend
+// budget, then fall back to Table 1's bootstrap ordering for uncalibrated
+// signals.
+func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
+	type vpState struct {
+		src     uint32
+		sumTPR  float64
+		keys    map[traceroute.Key]bool
+		sigs    []Signal
+		anyInit bool
+	}
+	bySrc := make(map[uint32]*vpState)
+	for k, sigs := range e.active {
+		if len(sigs) == 0 {
+			continue
+		}
+		st := bySrc[k.Src]
+		if st == nil {
+			st = &vpState{src: k.Src, keys: make(map[traceroute.Key]bool)}
+			bySrc[k.Src] = st
+		}
+		st.keys[k] = true
+		st.sigs = append(st.sigs, sigs...)
+		for _, s := range sigs {
+			if tpr, _, ok := e.Calib.Rates(k.Src, s.MonitorID); ok {
+				st.sumTPR += tpr
+				st.anyInit = true
+			}
+		}
+	}
+
+	var chosen []traceroute.Key
+	chosenSet := make(map[traceroute.Key]bool)
+	remaining := budget
+
+	// Steps 1-4: calibrated VPs in order of relative TPR.
+	var order []*vpState
+	for _, st := range bySrc {
+		if st.anyInit {
+			order = append(order, st)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].sumTPR != order[j].sumTPR {
+			return order[i].sumTPR > order[j].sumTPR
+		}
+		return order[i].src < order[j].src
+	})
+	for _, st := range order {
+		if remaining <= 0 {
+			break
+		}
+		// Refresh probability combines TPRs of firing signals with TNRs of
+		// silent potential signals across the VP's flagged traceroutes.
+		var sumTPR, sumTNR float64
+		signaledMon := make(map[traceroute.Key]map[int]bool)
+		for k := range st.keys {
+			signaledMon[k] = make(map[int]bool)
+		}
+		for _, s := range st.sigs {
+			if m, ok := signaledMon[s.Key]; ok {
+				m[s.MonitorID] = true
+			}
+			if tpr, _, ok := e.Calib.Rates(st.src, s.MonitorID); ok {
+				sumTPR += tpr
+			}
+		}
+		for k := range st.keys {
+			for _, reg := range e.regs[k] {
+				if signaledMon[k][reg.MonitorID] {
+					continue
+				}
+				if _, tnr, ok := e.Calib.Rates(st.src, reg.MonitorID); ok {
+					sumTNR += tnr
+				}
+			}
+		}
+		p := 1.0
+		if sumTPR+sumTNR > 0 {
+			p = sumTPR / (sumTPR + sumTNR)
+		}
+		keys := sortedKeySet(st.keys)
+		for _, k := range keys {
+			if remaining <= 0 {
+				break
+			}
+			if chosenSet[k] {
+				continue
+			}
+			if rng.Float64() <= p {
+				chosen = append(chosen, k)
+				chosenSet[k] = true
+				remaining--
+			}
+		}
+	}
+
+	// Step 5: bootstrap ordering over remaining signals (Table 1).
+	if remaining > 0 {
+		var rest []Signal
+		for k, sigs := range e.active {
+			if chosenSet[k] {
+				continue
+			}
+			rest = append(rest, sigs...)
+		}
+		sort.Slice(rest, func(i, j int) bool { return table1Less(rest[i], rest[j]) })
+		for _, s := range rest {
+			if remaining <= 0 {
+				break
+			}
+			if chosenSet[s.Key] {
+				continue
+			}
+			chosen = append(chosen, s.Key)
+			chosenSet[s.Key] = true
+			remaining--
+		}
+	}
+	return chosen
+}
+
+func sortedKeySet(m map[traceroute.Key]bool) []traceroute.Key {
+	out := make([]traceroute.Key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// table1Less orders signals by the paper's Table 1 priority attributes:
+// IP-level overlap, AS-level overlap, VP in same AS and city, same AS,
+// same city, AS-level change kind, then border/IXP change; ties break on
+// VP count for BGP signals and detector score for traceroute signals.
+func table1Less(a, b Signal) bool {
+	if a.IPOverlap != b.IPOverlap {
+		return a.IPOverlap > b.IPOverlap
+	}
+	if a.ASOverlap != b.ASOverlap {
+		return a.ASOverlap > b.ASOverlap
+	}
+	aBoth, bBoth := a.SameASVP && a.SameCityVP, b.SameASVP && b.SameCityVP
+	if aBoth != bBoth {
+		return aBoth
+	}
+	if a.SameASVP != b.SameASVP {
+		return a.SameASVP
+	}
+	if a.SameCityVP != b.SameCityVP {
+		return a.SameCityVP
+	}
+	aAS, bAS := a.Technique == TechBGPASPath, b.Technique == TechBGPASPath
+	if aAS != bAS {
+		return aAS
+	}
+	if a.Technique.IsBGP() != b.Technique.IsBGP() {
+		// Tie-breaker domain: BGP signals by VP count, traceroute signals
+		// by z-score; across domains prefer more VPs then higher score.
+		if a.VPCount != b.VPCount {
+			return a.VPCount > b.VPCount
+		}
+		return a.Score > b.Score
+	}
+	if a.Technique.IsBGP() {
+		if a.VPCount != b.VPCount {
+			return a.VPCount > b.VPCount
+		}
+	} else if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Key.Src != b.Key.Src {
+		return a.Key.Src < b.Key.Src
+	}
+	return a.Key.Dst < b.Key.Dst
+}

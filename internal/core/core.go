@@ -1,0 +1,407 @@
+// Package core implements the paper's contribution: staleness prediction
+// signals that mark corpus traceroutes as likely out-of-date without
+// issuing any measurements. Six techniques feed a single engine:
+//
+//	§4.1.2  BGP AS-path overlap monitoring (Bitmap outlier detection)
+//	§4.1.3  BGP community change tracking
+//	§4.1.4  duplicate-update burst correlation
+//	§4.2.1  public-traceroute IP-subpath frequency shifts (modified z-score)
+//	§4.2.2  inter-city border-router frequency shifts
+//	§4.2.3  IXP membership changes
+//
+// plus §4.3's calibration (per-VP/per-signal TPR/TNR, refresh probability,
+// Table 1 bootstrap ordering) and §4.3.2's signal revocation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+	"rrr/internal/corpus"
+	"rrr/internal/traceroute"
+	"rrr/internal/trie"
+)
+
+// Technique identifies which monitor produced a signal; the rows of the
+// paper's Table 2.
+type Technique int
+
+// Techniques.
+const (
+	TechBGPASPath Technique = iota
+	TechBGPCommunity
+	TechBGPBurst
+	TechTraceSubpath
+	TechTraceBorder
+	TechIXPMembership
+	numTechniques
+)
+
+// String names the technique with the paper's Table 2 labels.
+func (t Technique) String() string {
+	switch t {
+	case TechBGPASPath:
+		return "BGP AS-paths"
+	case TechBGPCommunity:
+		return "BGP communities"
+	case TechBGPBurst:
+		return "BGP update bursts"
+	case TechTraceSubpath:
+		return "Traceroute subpaths"
+	case TechTraceBorder:
+		return "Traceroute borders"
+	case TechIXPMembership:
+		return "Colocation changes"
+	}
+	return "unknown"
+}
+
+// IsBGP reports whether the technique consumes BGP feeds.
+func (t Technique) IsBGP() bool {
+	return t == TechBGPASPath || t == TechBGPCommunity || t == TechBGPBurst
+}
+
+// Signal is one staleness prediction signal: evidence that a specific
+// portion (border span) of a corpus traceroute has changed.
+type Signal struct {
+	Technique Technique
+	// Key is the corpus (src, dst) pair flagged as stale.
+	Key traceroute.Key
+	// MonitorID identifies the potential signal that fired, for
+	// calibration bookkeeping.
+	MonitorID int
+	// WindowStart is the start of the signal-generation window (seconds).
+	WindowStart int64
+	// Borders are the indices into the corpus entry's border path that
+	// the signal claims changed.
+	Borders []int
+	// Detail is a human-readable cause (an AS, community, or subpath).
+	Detail string
+	// Score is the detector's outlier score (z-score or bitmap distance).
+	Score float64
+	// VPCount is the number of BGP vantage points behind the signal
+	// (tie-break attribute for Table 1).
+	VPCount int
+	// IPOverlap and ASOverlap describe how much of the traceroute the
+	// triggering data overlaps (Table 1 attributes 1 and 2).
+	IPOverlap, ASOverlap int
+	// SameASVP / SameCityVP indicate vantage points co-located with the
+	// traceroute source (Table 1 attributes 3-5).
+	SameASVP, SameCityVP bool
+	// Comm is the community behind a §4.1.3 signal (for Appendix B's
+	// reputation learning); zero otherwise.
+	Comm bgp.Community
+}
+
+// String renders a compact description.
+func (s Signal) String() string {
+	return fmt.Sprintf("%s: %s w=%d borders=%v %s", s.Technique, s.Key, s.WindowStart, s.Borders, s.Detail)
+}
+
+// Registration ties a potential signal (a monitor) to a corpus traceroute:
+// the monitor watches the given border indices of that traceroute.
+type Registration struct {
+	MonitorID int
+	Technique Technique
+	Borders   []int
+}
+
+// Geolocator resolves interface addresses to opaque city identifiers
+// (§4.2.2's ⟨AS, city⟩ tuples).
+type Geolocator interface {
+	LocateCity(ip uint32, when int64) (int, bool)
+}
+
+// Rel describes a's relationship toward b for §4.2.3's IXP inference.
+type Rel int
+
+// Relationship kinds.
+const (
+	RelNone Rel = iota
+	// RelCustomerOf: a is a customer of b (b is a's provider).
+	RelCustomerOf
+	// RelProviderOf: a is a provider of b.
+	RelProviderOf
+	// RelPeerPublic: settlement-free peering over an IXP.
+	RelPeerPublic
+	// RelPeerPrivate: private peering.
+	RelPeerPrivate
+)
+
+// RelOracle answers AS relationship queries (CAIDA AS-relationship
+// substitute).
+type RelOracle interface {
+	Rel(a, b bgp.ASN) Rel
+}
+
+// Config tunes the engine.
+type Config struct {
+	// WindowSec is the BGP signal-generation window; 900 s in the paper
+	// (one RouteViews dump cycle).
+	WindowSec int64
+	// PublicLadder is the candidate window ladder for traceroute-derived
+	// series; anomaly.WindowLadder if nil.
+	PublicLadder []int64
+	// MinSuffixVPs is the minimum VP set size to instantiate a burst
+	// series.
+	MinSuffixVPs int
+	// CommunityFPQuota is how many observed false-positive windows a
+	// community survives before calibration prunes it (Appendix B).
+	CommunityFPQuota int
+	// CalibrationWindows is the sliding window length l for TPR/TNR
+	// tallies; 30 in the paper.
+	CalibrationWindows int
+	// RevokeSignals enables §4.3.2 revocation.
+	RevokeSignals bool
+	// IXPBootstrapSec is the initial period during which traceroute-
+	// observed IXP members silently augment the membership snapshot
+	// instead of generating signals (§4.2.3's snapshot augmentation).
+	IXPBootstrapSec int64
+	// Disabled lists techniques to turn off entirely (monitors are not
+	// even registered), for ablation studies: the paper's Table 2 "unique"
+	// columns quantify what each technique contributes.
+	Disabled []Technique
+}
+
+// disabled reports whether a technique is switched off.
+func (c Config) disabled(t Technique) bool {
+	for _, d := range c.Disabled {
+		if d == t {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultConfig mirrors the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		WindowSec:          900,
+		MinSuffixVPs:       2,
+		CommunityFPQuota:   1,
+		CalibrationWindows: 30,
+		RevokeSignals:      true,
+		IXPBootstrapSec:    86400,
+	}
+}
+
+// Engine consumes BGP updates and public traceroutes and emits staleness
+// prediction signals for a registered corpus.
+type Engine struct {
+	cfg     Config
+	mapper  traceroute.Mapper
+	aliases bordermap.AliasOracle
+	geo     Geolocator
+	rel     RelOracle
+
+	rib *bgp.RIB
+
+	// Corpus registrations.
+	entries map[traceroute.Key]*corpus.Entry
+	regs    map[traceroute.Key][]Registration
+
+	// destToKeys indexes corpus pairs by destination address.
+	destToKeys map[uint32][]traceroute.Key
+
+	// Per-window BGP state.
+	window      int64 // current window start; -1 before first observation
+	winUpdates  map[vpPrefix]*vpWindowState
+	winComms    []commEvent
+	nextMonitor int
+
+	asp      []*aspMonitor
+	aspByVP  map[vpPrefix][]*aspMonitor
+	aspByKey map[traceroute.Key][]*aspMonitor
+	bursts   []*burstMonitor
+	extras   map[extraKey]*extraSeries
+	comms    map[traceroute.Key]*commMonitor
+	commByVP map[vpPrefix][]*commMonitor
+
+	subpaths    map[string]*subpathMonitor
+	subByStart  map[uint32][]*subpathMonitor
+	subByKey    map[traceroute.Key][]*subpathMonitor
+	borders     map[borderGroupKey]*borderGroup
+	brsByKey    map[traceroute.Key][]*borderRouterSeries
+	pendingIXP  []Signal
+	ixpMonIDs   map[[2]int]int
+	ixpMembers  map[int]map[bgp.ASN]bool
+	ixpObserved map[int]map[bgp.ASN]bool
+	allowPriv   map[bgp.ASN]bool
+
+	patcher *traceroute.Patcher
+
+	// Active signals per corpus pair, for revocation and querying.
+	active map[traceroute.Key][]Signal
+
+	// Calib is the §4.3 calibrator; exported for refresh planning.
+	Calib *Calibrator
+
+	// retired stashes detector state when a pair is re-registered after a
+	// refresh so monitors with unchanged scope keep their warmed-up
+	// detector history instead of cold-starting.
+	retired map[traceroute.Key]map[string]*retiredState
+
+	// stats
+	signalCount    [numTechniques]int
+	deadASP        int
+	revokedSignals int
+	revokedPairs   int
+}
+
+// retiredState preserves a monitor's detector and revocation baseline
+// across re-registration.
+type retiredState struct {
+	det      interface{}
+	baseline float64
+	hasBase  bool
+}
+
+type vpPrefix struct {
+	vp bgp.VPKey
+	pf trie.Prefix
+}
+
+type vpWindowState struct {
+	// startPath/startComms are the route attributes at window start.
+	startPath  bgp.Path
+	startComms bgp.Communities
+	startOK    bool
+	// updates during this window.
+	paths []bgp.Path
+	dup   bool
+}
+
+type commEvent struct {
+	vp     bgp.VPKey
+	prefix trie.Prefix
+	prev   bgp.Communities
+	cur    bgp.Communities
+	time   int64
+}
+
+// NewEngine builds an engine. The RIB should be primed with an initial
+// table dump (via ObserveBGP) before corpus traceroutes are registered, as
+// the paper starts BGP collection two days before corpus initialization.
+func NewEngine(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle) *Engine {
+	if cfg.WindowSec == 0 {
+		cfg.WindowSec = 900
+	}
+	if cfg.MinSuffixVPs == 0 {
+		cfg.MinSuffixVPs = 2
+	}
+	if cfg.CalibrationWindows == 0 {
+		cfg.CalibrationWindows = 30
+	}
+	if cfg.CommunityFPQuota == 0 {
+		cfg.CommunityFPQuota = 3
+	}
+	e := &Engine{
+		cfg:         cfg,
+		mapper:      m,
+		aliases:     aliases,
+		geo:         geo,
+		rel:         rel,
+		rib:         bgp.NewRIB(),
+		entries:     make(map[traceroute.Key]*corpus.Entry),
+		regs:        make(map[traceroute.Key][]Registration),
+		destToKeys:  make(map[uint32][]traceroute.Key),
+		window:      -1,
+		winUpdates:  make(map[vpPrefix]*vpWindowState),
+		aspByVP:     make(map[vpPrefix][]*aspMonitor),
+		aspByKey:    make(map[traceroute.Key][]*aspMonitor),
+		extras:      make(map[extraKey]*extraSeries),
+		comms:       make(map[traceroute.Key]*commMonitor),
+		commByVP:    make(map[vpPrefix][]*commMonitor),
+		subpaths:    make(map[string]*subpathMonitor),
+		subByStart:  make(map[uint32][]*subpathMonitor),
+		subByKey:    make(map[traceroute.Key][]*subpathMonitor),
+		borders:     make(map[borderGroupKey]*borderGroup),
+		brsByKey:    make(map[traceroute.Key][]*borderRouterSeries),
+		ixpMembers:  make(map[int]map[bgp.ASN]bool),
+		ixpObserved: make(map[int]map[bgp.ASN]bool),
+		allowPriv:   make(map[bgp.ASN]bool),
+		patcher:     traceroute.NewPatcher(),
+		retired:     make(map[traceroute.Key]map[string]*retiredState),
+		active:      make(map[traceroute.Key][]Signal),
+	}
+	e.Calib = NewCalibrator(cfg.CalibrationWindows, cfg.CommunityFPQuota)
+	return e
+}
+
+// RIB exposes the engine's BGP table view (read-only use).
+func (e *Engine) RIB() *bgp.RIB { return e.rib }
+
+// Entry returns the registered corpus entry for a pair.
+func (e *Engine) Entry(k traceroute.Key) (*corpus.Entry, bool) {
+	en, ok := e.entries[k]
+	return en, ok
+}
+
+// Registrations returns the potential signals covering a corpus pair.
+func (e *Engine) Registrations(k traceroute.Key) []Registration {
+	return e.regs[k]
+}
+
+// Active returns the currently-active (unrevoked) signals for a pair.
+func (e *Engine) Active(k traceroute.Key) []Signal { return e.active[k] }
+
+// ClearActive resets a pair's signal state (after a refresh re-registers
+// it).
+func (e *Engine) ClearActive(k traceroute.Key) { delete(e.active, k) }
+
+// SignalCounts returns per-technique signal totals.
+func (e *Engine) SignalCounts() map[Technique]int {
+	out := make(map[Technique]int, int(numTechniques))
+	for t := Technique(0); t < numTechniques; t++ {
+		out[t] = e.signalCount[t]
+	}
+	return out
+}
+
+// SetInitialIXPMembership seeds §4.2.3's membership snapshot (PeeringDB
+// substitute, possibly incomplete).
+func (e *Engine) SetInitialIXPMembership(members map[int][]bgp.ASN) {
+	for ixp, list := range members {
+		m := make(map[bgp.ASN]bool, len(list))
+		for _, as := range list {
+			m[as] = true
+		}
+		e.ixpMembers[ixp] = m
+	}
+}
+
+// AllowPrivatePeerSignals marks an AS as giving public and private peers
+// equal local preference, enabling IXP signals through private peers
+// (§4.2.3's learned exception).
+func (e *Engine) AllowPrivatePeerSignals(as bgp.ASN) { e.allowPriv[as] = true }
+
+func (e *Engine) nextID() int {
+	e.nextMonitor++
+	return e.nextMonitor
+}
+
+func (e *Engine) addReg(k traceroute.Key, r Registration) {
+	e.regs[k] = append(e.regs[k], r)
+}
+
+// sortSignals orders signals deterministically.
+func sortSignals(sigs []Signal) {
+	sort.Slice(sigs, func(i, j int) bool {
+		a, b := sigs[i], sigs[j]
+		if a.WindowStart != b.WindowStart {
+			return a.WindowStart < b.WindowStart
+		}
+		if a.Technique != b.Technique {
+			return a.Technique < b.Technique
+		}
+		if a.Key.Src != b.Key.Src {
+			return a.Key.Src < b.Key.Src
+		}
+		if a.Key.Dst != b.Key.Dst {
+			return a.Key.Dst < b.Key.Dst
+		}
+		return a.MonitorID < b.MonitorID
+	})
+}

@@ -1,0 +1,733 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rrr/internal/anomaly"
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+	"rrr/internal/corpus"
+	"rrr/internal/traceroute"
+	"rrr/internal/trie"
+)
+
+// subpathMonitor implements §4.2.1 for one monitored IP-level subpath.
+// Monitors are shared across corpus traceroutes that traverse the same
+// subpath (the sharing that Appendix C's Fig 14 quantifies). Observations
+// buffer until enough data exists to pick a window size from the ladder;
+// then a modified z-score series activates.
+type subpathMonitor struct {
+	id   int
+	ips  []uint32 // the anchor sequence ι_m..ι_n (hole-free, deduped)
+	last uint32   // ips[len-1], the ι_n endpoint
+
+	// watchers are the corpus pairs covering this subpath and the border
+	// indices the subpath spans in each.
+	watchers []subpathWatcher
+
+	buf    []subObs
+	series *anomaly.WindowedSeries
+}
+
+type subpathWatcher struct {
+	key     traceroute.Key
+	borders []int
+}
+
+type subObs struct {
+	t     int64
+	match bool
+}
+
+// borderGroupKey identifies an inter-city AS adjacency ⟨AS_m, c_m⟩→⟨AS_n,
+// c_n⟩ (§4.2.2).
+type borderGroupKey struct {
+	FromAS bgp.ASN
+	FromC  int
+	ToAS   bgp.ASN
+	ToC    int
+}
+
+// borderGroup tracks which border routers carry traffic between two
+// ⟨AS, city⟩ points, with one ratio series per registered router.
+type borderGroup struct {
+	key     borderGroupKey
+	routers map[int]*borderRouterSeries
+}
+
+type borderRouterSeries struct {
+	id       int
+	router   int
+	watchers []subpathWatcher
+
+	buf    []subObs
+	series *anomaly.WindowedSeries
+}
+
+// AddCorpusEntry registers a processed corpus traceroute with every
+// technique. The engine's RIB must already be primed.
+func (e *Engine) AddCorpusEntry(en *corpus.Entry) {
+	e.entries[en.Key] = en
+	e.destToKeys[en.Key.Dst] = append(e.destToKeys[en.Key.Dst], en.Key)
+
+	e.registerBGPMonitors(en)
+	e.registerSubpathMonitors(en)
+	e.registerBorderMonitors(en)
+}
+
+// registerSubpathMonitors creates (or joins) §4.2.1 monitors for each
+// border-crossing subpath of the entry. Monitored subpaths are anchored at
+// AS boundaries: interdomain segments give the reliable signals, while
+// intradomain segments churn with traffic engineering (§4.2's first
+// accuracy rule).
+func (e *Engine) registerSubpathMonitors(en *corpus.Entry) {
+	if e.cfg.disabled(TechTraceSubpath) {
+		return
+	}
+	path := en.Trace.IPPath()
+	register := func(raw []uint32, bi int) {
+		// Dedupe consecutive identical anchors (the far hop of one
+		// crossing is often the near hop of the next).
+		ips := raw[:0:0]
+		for i, ip := range raw {
+			if i == 0 || ip != raw[i-1] {
+				ips = append(ips, ip)
+			}
+		}
+		if len(ips) < 2 {
+			return
+		}
+		key := subpathKeyOf(ips)
+		mon, ok := e.subpaths[key]
+		if !ok {
+			mon = &subpathMonitor{id: e.nextID(), ips: ips, last: ips[len(ips)-1]}
+			e.subpaths[key] = mon
+			e.subByStart[ips[0]] = append(e.subByStart[ips[0]], mon)
+		}
+		mon.watchers = append(mon.watchers, subpathWatcher{key: en.Key, borders: []int{bi}})
+		e.subByKey[en.Key] = append(e.subByKey[en.Key], mon)
+		e.addReg(en.Key, Registration{MonitorID: mon.id, Technique: TechTraceSubpath, Borders: []int{bi}})
+	}
+	for bi, b := range en.Borders {
+		// Short monitor: near hop, far hop, and one hop of context. It
+		// catches far-side changes while the near anchor persists.
+		ips := []uint32{path[b.NearIdx], path[b.FarIdx]}
+		for k := b.FarIdx + 1; k < len(path); k++ {
+			if path[k] != 0 {
+				ips = append(ips, path[k])
+				break
+			}
+		}
+		register(ips, bi)
+
+		// Sparse bracket monitor: anchored at the previous crossing's far
+		// hop and the next crossing's near hop, where paths reconverge
+		// after a border change inside the bracket. The anchors are border
+		// interfaces only, so intra-domain churn between them is invisible.
+		// This is the workhorse for egress shifts, which move both
+		// interfaces of a crossing.
+		var bracket []uint32
+		if bi > 0 {
+			bracket = append(bracket, path[en.Borders[bi-1].FarIdx])
+		}
+		bracket = append(bracket, path[b.NearIdx], path[b.FarIdx])
+		if bi+1 < len(en.Borders) {
+			bracket = append(bracket, path[en.Borders[bi+1].NearIdx])
+		}
+		if len(bracket) < 3 || hasZero(bracket) {
+			continue
+		}
+		register(bracket, bi)
+	}
+}
+
+func hasZero(xs []uint32) bool {
+	for _, x := range xs {
+		if x == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func subpathKeyOf(ips []uint32) string {
+	var b strings.Builder
+	for i, ip := range ips {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%08x", ip)
+	}
+	return b.String()
+}
+
+// registerBorderMonitors creates (or joins) §4.2.2 monitors: one ratio
+// series per (inter-city AS adjacency, border router) the entry uses.
+// Crossings whose endpoints cannot be geolocated are skipped (Appendix A).
+func (e *Engine) registerBorderMonitors(en *corpus.Entry) {
+	if e.geo == nil || e.cfg.disabled(TechTraceBorder) {
+		return
+	}
+	for bi, b := range en.Borders {
+		gk, router, ok := e.borderGroupOf(b, en.MeasuredAt)
+		if !ok {
+			continue
+		}
+		grp := e.borders[gk]
+		if grp == nil {
+			grp = &borderGroup{key: gk, routers: make(map[int]*borderRouterSeries)}
+			e.borders[gk] = grp
+		}
+		rs := grp.routers[router]
+		if rs == nil {
+			rs = &borderRouterSeries{id: e.nextID(), router: router}
+			grp.routers[router] = rs
+		}
+		rs.watchers = append(rs.watchers, subpathWatcher{key: en.Key, borders: []int{bi}})
+		e.brsByKey[en.Key] = append(e.brsByKey[en.Key], rs)
+		e.addReg(en.Key, Registration{MonitorID: rs.id, Technique: TechTraceBorder, Borders: []int{bi}})
+	}
+}
+
+// borderGroupOf geolocates a crossing's endpoints into the group key and
+// resolves the border router identity. Same-city crossings are excluded
+// (§4.2.2 requires c_m ≠ c_n).
+func (e *Engine) borderGroupOf(b bordermap.BorderHop, when int64) (borderGroupKey, int, bool) {
+	cm, ok := e.geo.LocateCity(b.NearIP, when)
+	if !ok {
+		return borderGroupKey{}, 0, false
+	}
+	cn, ok := e.geo.LocateCity(b.FarIP, when)
+	if !ok || cm == cn {
+		return borderGroupKey{}, 0, false
+	}
+	router := b.Router
+	if router == 0 {
+		router = -int(b.FarIP)
+	}
+	return borderGroupKey{FromAS: b.FromAS, FromC: cm, ToAS: b.ToAS, ToC: cn}, router, true
+}
+
+// ObservePublicTrace ingests one public traceroute, feeding the subpath,
+// border, and IXP techniques plus the unresponsive-hop patcher. Signals it
+// produces (IXP membership changes) are delivered by the next CloseWindow.
+func (e *Engine) ObservePublicTrace(t *traceroute.Traceroute) {
+	e.patcher.Observe(t)
+	patched := t.Clone()
+	e.patcher.Patch(patched)
+	path := patched.IPPath()
+
+	// §4.2.1: subpath observations.
+	for i, ip := range path {
+		if ip == 0 {
+			continue
+		}
+		for _, mon := range e.subByStart[ip] {
+			// Intersect: the trace passes ι_m then later ι_n.
+			_, endIdx, via := traceroute.TraversesVia(path[i:], ip, mon.last)
+			if !via {
+				continue
+			}
+			// Match: the anchors appear in order. Anchors are border
+			// interfaces; intra-domain hops between them may differ
+			// across flows and over time without indicating a border
+			// change (§4.2's interdomain-only rule). A failed match that
+			// could be explained by an unresponsive hop in the span is
+			// unknown — wildcards cannot indicate a change (Appendix A) —
+			// and is dropped.
+			match := matchesSparse(path[i:], mon.ips)
+			if !match && spanHasHole(path[i:], endIdx) {
+				continue
+			}
+			if DebugSubpath != nil && !match {
+				DebugSubpath(mon.ips, path, match)
+			}
+			if mon.series != nil {
+				mon.series.Observe(t.Time, boolVal(match))
+			} else {
+				mon.buf = append(mon.buf, subObs{t: t.Time, match: match})
+				mon.activate(e.cfg.PublicLadder, t.Time)
+			}
+		}
+	}
+
+	// §4.2.2 and §4.2.3 need the border path.
+	borders := bordermap.BorderPath(patched, e.mapper, e.aliases)
+	if e.geo != nil {
+		for _, b := range borders {
+			// An unresponsive hop between near and far may hide the true
+			// ingress router: the crossing is a wildcard, not evidence.
+			if b.FarIdx != b.NearIdx+1 {
+				continue
+			}
+			gk, router, ok := e.borderGroupOf(b, t.Time)
+			if !ok {
+				continue
+			}
+			grp := e.borders[gk]
+			if grp == nil {
+				continue
+			}
+			for _, rs := range grp.routers {
+				if rs.series != nil {
+					rs.series.Observe(t.Time, boolVal(rs.router == router))
+					continue
+				}
+				rs.buf = append(rs.buf, subObs{t: t.Time, match: rs.router == router})
+				rs.activate(e.cfg.PublicLadder, t.Time)
+			}
+		}
+	}
+
+	e.pendingIXP = append(e.pendingIXP, e.observeIXP(borders, t.Time)...)
+}
+
+// matchesSparse reports whether the anchors appear in order within path,
+// starting at path[0] == anchors[0].
+func matchesSparse(path []uint32, anchors []uint32) bool {
+	if len(path) == 0 || len(anchors) == 0 || path[0] != anchors[0] {
+		return false
+	}
+	ai := 1
+	for _, ip := range path[1:] {
+		if ai == len(anchors) {
+			break
+		}
+		if ip == anchors[ai] {
+			ai++
+		}
+	}
+	return ai == len(anchors)
+}
+
+// spanHasHole reports whether any hop in path[0..end] is unresponsive.
+func spanHasHole(path []uint32, end int) bool {
+	if end >= len(path) {
+		end = len(path) - 1
+	}
+	for k := 0; k <= end; k++ {
+		if path[k] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// activate instantiates the windowed series once enough observations exist
+// to choose a window size per §4.2.1's ladder rule, then replays the
+// buffer.
+func (m *subpathMonitor) activate(ladder []int64, now int64) {
+	if m.series != nil || len(m.buf) < 2*anomaly.MinObservations {
+		return
+	}
+	times := make([]int64, len(m.buf))
+	for i, o := range m.buf {
+		times[i] = o.t
+	}
+	w, ok := anomaly.ChooseWindowMin(times, now, ladder, 2)
+	if !ok {
+		if len(m.buf) > 4096 {
+			m.buf = m.buf[len(m.buf)-2048:]
+		}
+		return
+	}
+	m.series = &anomaly.WindowedSeries{WindowSec: w, Det: anomaly.NewZScore()}
+	for _, o := range m.buf {
+		m.series.Observe(o.t, boolVal(o.match))
+	}
+	m.buf = nil
+}
+
+func (rs *borderRouterSeries) activate(ladder []int64, now int64) {
+	if rs.series != nil || len(rs.buf) < 2*anomaly.MinObservations {
+		return
+	}
+	times := make([]int64, len(rs.buf))
+	for i, o := range rs.buf {
+		times[i] = o.t
+	}
+	w, ok := anomaly.ChooseWindowMin(times, now, ladder, 2)
+	if !ok {
+		if len(rs.buf) > 4096 {
+			rs.buf = rs.buf[len(rs.buf)-2048:]
+		}
+		return
+	}
+	rs.series = &anomaly.WindowedSeries{WindowSec: w, Det: anomaly.NewZScore()}
+	for _, o := range rs.buf {
+		rs.series.Observe(o.t, boolVal(o.match))
+	}
+	rs.buf = nil
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// observeIXP implements §4.2.3: watch for ASes newly appearing as near-end
+// neighbors of IXP interfaces, then flag corpus traceroutes that might now
+// route through the new membership.
+func (e *Engine) observeIXP(borders []bordermap.BorderHop, when int64) []Signal {
+	if e.cfg.disabled(TechIXPMembership) {
+		return nil
+	}
+	var sigs []Signal
+	for _, b := range borders {
+		if b.IXP == 0 {
+			continue
+		}
+		// Near-end (left-adjacent) neighbor of the IXP interface.
+		member := b.FromAS
+		known := e.ixpMembers[b.IXP]
+		if known == nil {
+			known = make(map[bgp.ASN]bool)
+			e.ixpMembers[b.IXP] = known
+		}
+		obs := e.ixpObserved[b.IXP]
+		if obs == nil {
+			obs = make(map[bgp.ASN]bool)
+			e.ixpObserved[b.IXP] = obs
+		}
+		if known[member] || obs[member] {
+			continue
+		}
+		obs[member] = true
+		// During bootstrap, observed members augment the snapshot without
+		// signaling (the paper builds its initial membership from
+		// PeeringDB plus traceroute-observed adjacencies).
+		if when < e.cfg.IXPBootstrapSec {
+			continue
+		}
+		sigs = append(sigs, e.ixpJoinSignals(b.IXP, member, when)...)
+	}
+	return sigs
+}
+
+// ixpJoinSignals scans the corpus for traceroutes that include the new
+// member AS_i and, later, another member AS_j, and generates signals
+// according to the relationship between AS_i and its current next hop
+// (§4.2.3's provider / public-peer / private-peer rules).
+func (e *Engine) ixpJoinSignals(ixp int, asI bgp.ASN, when int64) []Signal {
+	if e.rel == nil {
+		return nil
+	}
+	members := e.ixpMembers[ixp]
+	var sigs []Signal
+	keys := make([]traceroute.Key, 0, len(e.entries))
+	for k := range e.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	for _, k := range keys {
+		en := e.entries[k]
+		idxI := en.ASPath.Index(asI)
+		if idxI < 0 || idxI+1 >= len(en.ASPath) {
+			continue
+		}
+		// A later hop that is already a member of the exchange.
+		foundJ := -1
+		for j := idxI + 1; j < len(en.ASPath); j++ {
+			if members[en.ASPath[j]] || e.ixpObserved[ixp][en.ASPath[j]] {
+				foundJ = j
+				break
+			}
+		}
+		if foundJ < 0 || foundJ == idxI+1 {
+			// Already adjacent (possibly already via this IXP): the new
+			// membership cannot shorten the path.
+			continue
+		}
+		asK := en.ASPath[idxI+1]
+		emit := false
+		switch e.rel.Rel(asI, asK) {
+		case RelCustomerOf:
+			// AS_k is a provider of AS_i: the new IXP peering is cheaper.
+			emit = true
+		case RelPeerPublic:
+			// Equal relationship class: shortest AS path wins.
+			emit = true
+		case RelPeerPrivate:
+			emit = e.allowPriv[asI]
+		}
+		if !emit {
+			continue
+		}
+		// The signal covers the border leaving AS_i.
+		var bs []int
+		for bi, b := range en.Borders {
+			if b.FromAS == asI {
+				bs = append(bs, bi)
+			}
+		}
+		cm := e.ixpMonitorID(ixp, asI)
+		sigs = append(sigs, Signal{
+			Technique:   TechIXPMembership,
+			Key:         k,
+			MonitorID:   cm,
+			WindowStart: (when / e.cfg.WindowSec) * e.cfg.WindowSec,
+			Borders:     bs,
+			Detail:      fmt.Sprintf("%s joined IXP %d", asI, ixp),
+			VPCount:     1,
+		})
+	}
+	return sigs
+}
+
+// ixpMonitorID allocates a stable monitor identity per (IXP, member).
+func (e *Engine) ixpMonitorID(ixp int, as bgp.ASN) int {
+	if e.ixpMonIDs == nil {
+		e.ixpMonIDs = make(map[[2]int]int)
+	}
+	k := [2]int{ixp, int(as)}
+	if id, ok := e.ixpMonIDs[k]; ok {
+		return id
+	}
+	id := e.nextID()
+	e.ixpMonIDs[k] = id
+	return id
+}
+
+// DebugSubpath, when non-nil, is invoked on every subpath observation
+// mismatch (test instrumentation).
+var DebugSubpath func(monIPs []uint32, path []uint32, match bool)
+
+// Stats summarizes monitor state for diagnostics and ablation reporting.
+type Stats struct {
+	SubpathMonitors  int
+	SubpathActive    int
+	SubpathBuffered  int
+	BorderGroups     int
+	BorderSeries     int
+	BorderActive     int
+	IXPObservedASes  int
+	ASPathMonitors   int
+	BurstMonitors    int
+	ExtraSeries      int
+	CommunityTargets int
+}
+
+// MonitorStats reports how many monitors exist and how many traceroute
+// series have accumulated enough data to activate.
+func (e *Engine) MonitorStats() Stats {
+	st := Stats{
+		SubpathMonitors:  len(e.subpaths),
+		BorderGroups:     len(e.borders),
+		ASPathMonitors:   len(e.asp) - e.deadASP,
+		BurstMonitors:    len(e.bursts),
+		ExtraSeries:      len(e.extras),
+		CommunityTargets: len(e.comms),
+	}
+	for _, m := range e.subpaths {
+		if m.series != nil {
+			st.SubpathActive++
+		}
+		st.SubpathBuffered += len(m.buf)
+	}
+	for _, grp := range e.borders {
+		st.BorderSeries += len(grp.routers)
+		for _, rs := range grp.routers {
+			if rs.series != nil {
+				st.BorderActive++
+			}
+		}
+	}
+	for _, m := range e.ixpObserved {
+		st.IXPObservedASes += len(m)
+	}
+	return st
+}
+
+// CloseWindow finishes the signal-generation window starting at ws: all
+// BGP series are evaluated, traceroute series are advanced past the window
+// end, revocation runs, and the window's signals are returned. Callers must
+// invoke it once per WindowSec with monotonically increasing ws.
+func (e *Engine) CloseWindow(ws int64) []Signal {
+	sigs := e.closeBGPWindow(ws)
+	end := ws + e.cfg.WindowSec
+
+	// §4.2.1 subpath series.
+	for _, key := range sortedSubpathKeys(e.subpaths) {
+		mon := e.subpaths[key]
+		if mon.series == nil {
+			continue
+		}
+		for _, o := range mon.series.AdvanceTo(end) {
+			for _, w := range mon.watchers {
+				sigs = append(sigs, Signal{
+					Technique:   TechTraceSubpath,
+					Key:         w.key,
+					MonitorID:   mon.id,
+					WindowStart: o.WindowStart,
+					Borders:     w.borders,
+					Detail:      fmt.Sprintf("subpath %s ratio %.2f", trie.FormatIP(mon.ips[0]), o.Value),
+					Score:       o.Score,
+					IPOverlap:   len(mon.ips),
+				})
+			}
+		}
+	}
+
+	// §4.2.2 border-router series.
+	for _, gk := range sortedGroupKeys(e.borders) {
+		grp := e.borders[gk]
+		for _, rid := range sortedRouterIDs(grp.routers) {
+			rs := grp.routers[rid]
+			if rs.series == nil {
+				continue
+			}
+			for _, o := range rs.series.AdvanceTo(end) {
+				for _, w := range rs.watchers {
+					sigs = append(sigs, Signal{
+						Technique:   TechTraceBorder,
+						Key:         w.key,
+						MonitorID:   rs.id,
+						WindowStart: o.WindowStart,
+						Borders:     w.borders,
+						Detail:      fmt.Sprintf("border %s->%s router shift", gk.FromAS, gk.ToAS),
+						Score:       o.Score,
+					})
+				}
+			}
+		}
+	}
+
+	// Drain pending IXP signals produced during the window.
+	sigs = append(sigs, e.pendingIXP...)
+	e.pendingIXP = nil
+
+	// Track active signals and revoke reverted ones (§4.3.2).
+	for i := range sigs {
+		e.signalCount[sigs[i].Technique]++
+		e.active[sigs[i].Key] = append(e.active[sigs[i].Key], sigs[i])
+	}
+	if e.cfg.RevokeSignals {
+		e.revokeReverted()
+	}
+
+	// Reset per-window BGP state.
+	e.winUpdates = make(map[vpPrefix]*vpWindowState)
+	e.winComms = e.winComms[:0]
+	e.window = ws + e.cfg.WindowSec
+
+	sortSignals(sigs)
+	return sigs
+}
+
+func sortedSubpathKeys(m map[string]*subpathMonitor) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedGroupKeys(m map[borderGroupKey]*borderGroup) []borderGroupKey {
+	keys := make([]borderGroupKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.FromAS != b.FromAS {
+			return a.FromAS < b.FromAS
+		}
+		if a.ToAS != b.ToAS {
+			return a.ToAS < b.ToAS
+		}
+		if a.FromC != b.FromC {
+			return a.FromC < b.FromC
+		}
+		return a.ToC < b.ToC
+	})
+	return keys
+}
+
+func sortedRouterIDs(m map[int]*borderRouterSeries) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// revokeReverted drops all active signals of a corpus pair when every
+// monitored series associated with it has returned to its baseline value
+// (§4.3.2): the route reverted, so the traceroute is fresh again.
+func (e *Engine) revokeReverted() {
+	for k, sigs := range e.active {
+		if len(sigs) == 0 {
+			continue
+		}
+		if e.pairReverted(k) {
+			e.revokedSignals += len(sigs)
+			e.revokedPairs++
+			delete(e.active, k)
+		}
+	}
+}
+
+// RevocationStats reports how many signals (and distinct pair-events) the
+// §4.3.2 revocation machinery has discarded because routes reverted.
+func (e *Engine) RevocationStats() (signals, pairEvents int) {
+	return e.revokedSignals, e.revokedPairs
+}
+
+// pairReverted reports whether every monitored quantity of the pair is
+// back at the value it had when the corpus traceroute was issued: AS-path
+// ratios, community sets, and subpath/border-router ratios (§4.3.2).
+func (e *Engine) pairReverted(k traceroute.Key) bool {
+	any := false
+	for _, m := range e.aspByKey[k] {
+		any = true
+		if !m.hasBase || !m.hasLast || m.lastRatio != m.baseline {
+			return false
+		}
+	}
+	if cm := e.comms[k]; cm != nil {
+		any = true
+		for _, st := range cm.overlap {
+			rt, ok := e.rib.Route(st.pf.vp, st.pf.pf)
+			if !ok {
+				return false
+			}
+			if !rt.Communities.Equal(st.baseline) {
+				return false
+			}
+		}
+	}
+	for _, mon := range e.subByKey[k] {
+		if mon.series == nil {
+			continue
+		}
+		any = true
+		first, ok1 := mon.series.First()
+		last, ok2 := mon.series.Last()
+		if ok1 && ok2 && first != last {
+			return false
+		}
+	}
+	for _, rs := range e.brsByKey[k] {
+		if rs.series == nil {
+			continue
+		}
+		any = true
+		first, ok1 := rs.series.First()
+		last, ok2 := rs.series.Last()
+		if ok1 && ok2 && first != last {
+			return false
+		}
+	}
+	return any
+}

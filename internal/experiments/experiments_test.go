@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"testing"
+
+	"rrr/internal/core"
+	"rrr/internal/netsim"
+)
+
+// The experiment tests assert the qualitative shapes the paper reports, at
+// a scale small enough for CI. EXPERIMENTS.md records the full-size runs.
+
+func tinyScale() Scale {
+	sc := QuickScale()
+	sc.Days = 4
+	return sc
+}
+
+func TestRetrospectiveShape(t *testing.T) {
+	r := RunRetrospective(tinyScale())
+	if r.CorpusSize < 100 {
+		t.Fatalf("corpus too small: %d", r.CorpusSize)
+	}
+	if r.TotalChanges == 0 {
+		t.Fatal("no ground-truth changes")
+	}
+	if r.BorderChanges == 0 || r.ASChanges == 0 {
+		t.Fatalf("change mix degenerate: AS=%d border=%d", r.ASChanges, r.BorderChanges)
+	}
+	// Each technique has high precision and the combination is needed for
+	// coverage (the paper's Table 2 headline).
+	if r.AllTechniques.Precision < 0.6 {
+		t.Errorf("combined precision %.2f < 0.6", r.AllTechniques.Precision)
+	}
+	if r.AllTechniques.CovAll < 0.1 {
+		t.Errorf("combined coverage %.2f < 0.1", r.AllTechniques.CovAll)
+	}
+	contributing := 0
+	for _, row := range r.Table2 {
+		if row.Signals > 0 {
+			contributing++
+		}
+	}
+	if contributing < 4 {
+		t.Errorf("only %d techniques produced signals", contributing)
+	}
+	// Fig 1: changes accumulate; the final fraction exceeds the first and
+	// stays well below 1 (most paths remain fresh, §2).
+	if n := len(r.Fig1Border); n >= 2 {
+		if r.Fig1Border[n-1] <= 0 {
+			t.Error("no accumulated changes in Fig 1")
+		}
+		if r.Fig1Border[n-1] > 0.8 {
+			t.Errorf("implausible change fraction %.2f", r.Fig1Border[n-1])
+		}
+	}
+	// Signals without any changes nearby should be rare: per-day precision
+	// stays above coin-flip on at least half the days.
+	good := 0
+	for _, p := range r.Fig6Precision {
+		if p >= 0.5 {
+			good++
+		}
+	}
+	if good*2 < len(r.Fig6Precision) {
+		t.Errorf("daily precision below 0.5 on most days: %v", r.Fig6Precision)
+	}
+}
+
+func TestLiveShape(t *testing.T) {
+	sc := tinyScale()
+	sc.Days = 3
+	r := RunLive(sc, 30)
+	if r.CorpusSize == 0 || r.SignalRefreshes == 0 || r.RandomRefreshes == 0 {
+		t.Fatalf("live run degenerate: %+v", r)
+	}
+	sigPrec := safeFrac(r.SignalChanged, r.SignalRefreshes)
+	rndPrec := safeFrac(r.RandomChanged, r.RandomRefreshes)
+	// Fig 7a's headline: signal-driven refreshes reveal changes far more
+	// often than random ones.
+	if sigPrec <= rndPrec {
+		t.Errorf("signal precision %.2f <= random %.2f", sigPrec, rndPrec)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	sc := tinyScale()
+	sc.Days = 3
+	r := RunFig8(sc, 120, []float64{0.0005, 0.02})
+	if r.TotalChanges == 0 {
+		t.Fatal("no ground-truth changes")
+	}
+	// More budget detects at least as much, for every strategy.
+	for name, ys := range map[string][]float64{
+		"roundrobin": r.RoundRobin, "sibyl": r.Sibyl,
+		"dtrack": r.DTrack, "signals": r.Signals, "ds": r.DTrackSignals,
+	} {
+		if ys[1] < ys[0]-0.05 {
+			t.Errorf("%s not budget-monotone: %v", name, ys)
+		}
+	}
+	// DTRACK+SIGNALS dominates signals alone at high budget (§6.1), and
+	// signals cannot exceed their coverage bound.
+	if r.DTrackSignals[1] < r.Signals[1] {
+		t.Errorf("dtrack+signals %.2f < signals %.2f at high budget",
+			r.DTrackSignals[1], r.Signals[1])
+	}
+	for _, y := range r.Signals {
+		if y > r.Optimal+0.01 {
+			t.Errorf("signals %.2f exceed optimal bound %.2f", y, r.Optimal)
+		}
+	}
+}
+
+func TestDiamondsShape(t *testing.T) {
+	r := RunDiamonds(tinyScale())
+	if r.NonLBSegments == 0 {
+		t.Fatal("no segments")
+	}
+	// §5.4: techniques do not flood LB segments with signals; flagged
+	// fractions are comparable.
+	if r.LBSegments > 0 && r.LBFlaggedFrac > r.NonLBFlaggedFrac+0.5 {
+		t.Errorf("LB segments disproportionately flagged: %.2f vs %.2f",
+			r.LBFlaggedFrac, r.NonLBFlaggedFrac)
+	}
+}
+
+func TestArchivalShape(t *testing.T) {
+	sc := tinyScale()
+	sc.Days = 3
+	r := RunArchival(sc, 300)
+	if r.ArchiveSize == 0 || len(r.Fresh) == 0 {
+		t.Fatal("archival run degenerate")
+	}
+	last := len(r.Fresh) - 1
+	total := r.Fresh[last] + r.Stale[last] + r.DeadProbe[last] + r.Unknown[last]
+	if total == 0 {
+		t.Fatal("no classified archive entries")
+	}
+	// §6.2's headline: the majority of the archive stays reusable.
+	if frac := float64(r.Fresh[last]) / float64(total); frac < 0.5 {
+		t.Errorf("fresh fraction %.2f < 0.5", frac)
+	}
+	if r.UDMSatisfiableFrac <= 0 || r.UDMAvoidableFrac >= r.UDMSatisfiableFrac {
+		t.Errorf("UDM fractions inconsistent: %.2f / %.2f",
+			r.UDMSatisfiableFrac, r.UDMAvoidableFrac)
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	sc := tinyScale()
+	sc.Days = 2
+	r := RunCensus(sc)
+	if r.BorderIPs == 0 {
+		t.Fatal("no border IPs")
+	}
+	// Fig 14: border IPs are shared across AS pairs; some widely.
+	maxPairs := r.ASPairsPerIP[len(r.ASPairsPerIP)-1]
+	if maxPairs < 2 {
+		t.Errorf("no border IP shared across AS pairs (max=%d)", maxPairs)
+	}
+	// Fig 15: changed border IPs tend to sit in at least as many paths.
+	if len(r.PathsPerIPChanged) > 0 && r.FracChangedInOver10 < r.FracUnchangedInOver10-0.3 {
+		t.Errorf("changed IPs unusually under-covered: %.2f vs %.2f",
+			r.FracChangedInOver10, r.FracUnchangedInOver10)
+	}
+}
+
+func TestGeoValidationShape(t *testing.T) {
+	r := RunGeoValidation(tinyScale())
+	if r.Located == 0 {
+		t.Fatal("pipeline located nothing")
+	}
+	// Fig 12's ordering: agreement with the crowd-sourced profile beats
+	// the router DB, which beats the general-purpose DB.
+	if !(r.Crowd.Exact >= r.RouterDB.Exact && r.RouterDB.Exact >= r.General.Exact) {
+		t.Errorf("DB agreement ordering violated: %.2f %.2f %.2f",
+			r.Crowd.Exact, r.RouterDB.Exact, r.General.Exact)
+	}
+	for _, db := range []struct{ e, u1, u5 float64 }{
+		{r.Crowd.Exact, r.Crowd.Under100, r.Crowd.Under500},
+		{r.General.Exact, r.General.Under100, r.General.Under500},
+	} {
+		if db.u1 > db.u5 || db.e > db.u5+1e-9 {
+			t.Errorf("CDF not monotone: %+v", db)
+		}
+	}
+}
+
+func TestIPlaneShape(t *testing.T) {
+	sc := tinyScale()
+	sc.Days = 3
+	r := RunIPlane(sc)
+	if r.Predictions == 0 || len(r.Day) == 0 {
+		t.Fatal("no predictions")
+	}
+	last := len(r.Day) - 1
+	// Fig 16a: pruning never leaves the corpus more stale than not
+	// pruning (small slack for sampling).
+	if r.InvalidPruned[last] > r.InvalidUnpruned[last]+0.1 {
+		t.Errorf("pruned invalidity %.2f > unpruned %.2f",
+			r.InvalidPruned[last], r.InvalidUnpruned[last])
+	}
+	// Fig 16b: a meaningful fraction of valid splices is retained.
+	if r.RetainedValid[last] < 0.3 {
+		t.Errorf("retained %.2f < 0.3", r.RetainedValid[last])
+	}
+}
+
+func TestMonitorStatsReporting(t *testing.T) {
+	sc := tinyScale()
+	sc.Days = 1
+	lab := NewLab(sc)
+	lab.BuildCorpus()
+	for w := 0; w < 96; w++ {
+		ws := int64(w) * sc.WindowSec
+		lab.Sim.Step(sc.WindowSec)
+		lab.PublicRound(sc.PublicPerWindow, ws+450)
+		lab.Engine.CloseWindow(ws)
+	}
+	st := lab.Engine.MonitorStats()
+	if st.ASPathMonitors == 0 || st.BurstMonitors == 0 || st.SubpathMonitors == 0 {
+		t.Fatalf("stats degenerate: %+v", st)
+	}
+	_ = core.DefaultConfig()
+}
+
+func TestLabRelClassification(t *testing.T) {
+	lab := NewLab(tinyScale())
+	rel := lab.Rel
+	checkedPub, checkedPriv, checkedCust := false, false, false
+	for i := 1; i < len(lab.Sim.T.Links); i++ {
+		l := lab.Sim.T.Links[i]
+		switch lab.Sim.T.ASes[l.AAS].Rel[l.BAS] {
+		case netsim.RelCustomer:
+			if rel.Rel(l.AAS, l.BAS) != core.RelCustomerOf {
+				t.Fatalf("customer link misclassified: %s-%s", l.AAS, l.BAS)
+			}
+			if rel.Rel(l.BAS, l.AAS) != core.RelProviderOf {
+				t.Fatalf("provider direction misclassified: %s-%s", l.BAS, l.AAS)
+			}
+			checkedCust = true
+		case netsim.RelPeer:
+			got := rel.Rel(l.AAS, l.BAS)
+			if l.IXP != 0 && got != core.RelPeerPublic {
+				// Public peering needs only one IXP link between the pair.
+				t.Fatalf("IXP peer misclassified as %v", got)
+			}
+			if got == core.RelPeerPublic {
+				checkedPub = true
+			} else if got == core.RelPeerPrivate {
+				checkedPriv = true
+			}
+		}
+	}
+	if !checkedCust || !checkedPub || !checkedPriv {
+		t.Skipf("relationship variety missing: cust=%v pub=%v priv=%v",
+			checkedCust, checkedPub, checkedPriv)
+	}
+	if rel.Rel(1, 2) != core.RelNone {
+		t.Fatal("unrelated ASes should be RelNone")
+	}
+}
+
+func TestEveryCorpusPairMonitorable(t *testing.T) {
+	lab := NewLab(tinyScale())
+	lab.BuildCorpus()
+	uncovered := 0
+	for _, k := range lab.Corp.Keys() {
+		if len(lab.Engine.Registrations(k)) == 0 {
+			uncovered++
+		}
+	}
+	// A few pairs may lack all visibility, but the overwhelming majority
+	// must have at least one potential signal (Appendix C's overlap).
+	if frac := float64(uncovered) / float64(lab.Corp.Len()); frac > 0.05 {
+		t.Fatalf("%.1f%% of corpus pairs unmonitorable", 100*frac)
+	}
+}

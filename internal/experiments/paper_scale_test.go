@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestPaperScaleRetro is the full-size retrospective run; skipped unless
+// RRR_PAPER_SCALE=1 (cmd/rrrbench runs it by default).
+func TestPaperScaleRetro(t *testing.T) {
+	if os.Getenv("RRR_PAPER_SCALE") == "" {
+		t.Skip("set RRR_PAPER_SCALE=1 for the full-size run")
+	}
+	sc := PaperScale()
+	sc.Days = 15
+	r := RunRetrospective(sc)
+	fmt.Printf("corpus=%d rounds=%d changes=%d (AS %d border %d)\n",
+		r.CorpusSize, r.Rounds, r.TotalChanges, r.ASChanges, r.BorderChanges)
+	for _, row := range r.Table2 {
+		fmt.Printf("%-22s sig=%6d prec=%.2f covAll=%.2f (u %.2f) covAS=%.2f covB=%.2f\n",
+			row.Technique, row.Signals, row.Precision, row.CovAll, row.CovAllUnique, row.CovAS, row.CovBorder)
+	}
+	fmt.Printf("ALL: sig=%d prec=%.2f cov=%.2f covMon=%.2f\n",
+		r.AllTechniques.Signals, r.AllTechniques.Precision, r.AllTechniques.CovAll, r.AllTechniques.CovAllUnique)
+	fmt.Printf("fig1 border: %.3v\n", r.Fig1Border)
+	fmt.Printf("fig6 prec: %.3v\n", r.Fig6Precision)
+	fmt.Printf("fig6 cov: %.3v\n", r.Fig6Coverage)
+	fmt.Printf("fig13 fp comms: %v\n", r.Fig13FPComms)
+}

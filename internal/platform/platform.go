@@ -1,0 +1,239 @@
+// Package platform simulates a RIPE Atlas-like measurement platform on top
+// of the netsim data plane: probes and anchors hosted in edge networks,
+// periodic anchoring measurement rounds, randomized built-in campaigns like
+// measurement #5051, per-user probing budgets/credits, and the
+// public/corpus vantage-point split used by the paper's retrospective
+// evaluation (§5.1).
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rrr/internal/bgp"
+	"rrr/internal/netsim"
+	"rrr/internal/traceroute"
+)
+
+// Probe is a measurement vantage point.
+type Probe struct {
+	ID int
+	AS bgp.ASN
+	IP uint32
+	// Anchor marks well-provisioned devices that are also measurement
+	// targets.
+	Anchor bool
+	// Active probes issue measurements; probes churn over time (the
+	// paper's "fresh, dead Probe" category).
+	Active bool
+}
+
+// Config sizes the platform.
+type Config struct {
+	Seed int64
+	// NumProbes and NumAnchors, placed in stub and small transit ASes.
+	NumProbes  int
+	NumAnchors int
+	// ProbeDeathPerDay is the expected number of probes that disappear
+	// per day.
+	ProbeDeathPerDay float64
+}
+
+// DefaultConfig returns a platform sized for the experiment harness.
+func DefaultConfig() Config {
+	return Config{Seed: 2, NumProbes: 120, NumAnchors: 40, ProbeDeathPerDay: 0.5}
+}
+
+// Platform binds probes to the simulator.
+type Platform struct {
+	Sim     *netsim.Sim
+	Probes  []*Probe
+	rng     *rand.Rand
+	deaths  float64
+	cfgRate float64
+}
+
+// New places probes deterministically across stub ASes (several per AS when
+// probes outnumber stubs).
+func New(s *netsim.Sim, cfg Config) *Platform {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Platform{Sim: s, rng: rng, cfgRate: cfg.ProbeDeathPerDay}
+	stubs := s.StubASes()
+	if len(stubs) == 0 {
+		return p
+	}
+	id := 1
+	place := func(n int, anchor bool) {
+		for i := 0; i < n; i++ {
+			as := stubs[rng.Intn(len(stubs))]
+			hostIdx := 100 + id // distinct host addresses per probe
+			p.Probes = append(p.Probes, &Probe{
+				ID: id, AS: as, IP: s.T.HostIP(as, hostIdx), Anchor: anchor, Active: true,
+			})
+			id++
+		}
+	}
+	place(cfg.NumAnchors, true)
+	place(cfg.NumProbes, false)
+	return p
+}
+
+// Anchors returns the anchor probes.
+func (p *Platform) Anchors() []*Probe {
+	var out []*Probe
+	for _, pr := range p.Probes {
+		if pr.Anchor {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// RegularProbes returns the non-anchor probes.
+func (p *Platform) RegularProbes() []*Probe {
+	var out []*Probe
+	for _, pr := range p.Probes {
+		if !pr.Anchor {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// ProbeByID returns a probe.
+func (p *Platform) ProbeByID(id int) (*Probe, bool) {
+	for _, pr := range p.Probes {
+		if pr.ID == id {
+			return pr, true
+		}
+	}
+	return nil, false
+}
+
+// Measure issues one traceroute from a probe.
+func (p *Platform) Measure(probe *Probe, dst uint32, when int64) *traceroute.Traceroute {
+	tr := p.Sim.Traceroute(probe.ID, probe.IP, dst, when)
+	tr.MsmID = 0
+	return tr
+}
+
+// AnchoringRound issues the anchoring measurements of §5.1.1: each probe in
+// `sources` traceroutes every anchor in `targets`. The anchor mesh is the
+// special case sources == targets.
+func (p *Platform) AnchoringRound(sources, targets []*Probe, when int64) []*traceroute.Traceroute {
+	var out []*traceroute.Traceroute
+	for _, src := range sources {
+		if !src.Active {
+			continue
+		}
+		for _, dst := range targets {
+			if src.ID == dst.ID {
+				continue
+			}
+			tr := p.Sim.Traceroute(src.ID, src.IP, dst.IP, when)
+			tr.MsmID = 1000 // anchoring measurement id space
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TopologyCampaignRound mimics built-in measurement #5051: each
+// participating probe measures a random sample of destination prefixes'
+// .1-style addresses. Destinations rotate per round.
+func (p *Platform) TopologyCampaignRound(probes []*Probe, dests []uint32, perProbe int, when int64) []*traceroute.Traceroute {
+	var out []*traceroute.Traceroute
+	rng := rand.New(rand.NewSource(p.rng.Int63() ^ when))
+	for _, src := range probes {
+		if !src.Active {
+			continue
+		}
+		for k := 0; k < perProbe && k < len(dests); k++ {
+			dst := dests[rng.Intn(len(dests))]
+			tr := p.Sim.Traceroute(src.ID, src.IP, dst, when)
+			tr.MsmID = 5051
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// StepDay ages the platform by one day: some probes die.
+func (p *Platform) StepDay() {
+	p.deaths += p.cfgRate
+	for p.deaths >= 1 {
+		p.deaths--
+		alive := p.aliveNonAnchor()
+		if len(alive) == 0 {
+			return
+		}
+		alive[p.rng.Intn(len(alive))].Active = false
+	}
+}
+
+func (p *Platform) aliveNonAnchor() []*Probe {
+	var out []*Probe
+	for _, pr := range p.Probes {
+		if pr.Active && !pr.Anchor {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// Split partitions probes into two equal halves P_public and P_corpus
+// deterministically (§5.1.1).
+func (p *Platform) Split(seed int64) (public, corpus []*Probe) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := make([]*Probe, len(p.Probes))
+	copy(shuffled, p.Probes)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	half := len(shuffled) / 2
+	public = shuffled[:half]
+	corpus = shuffled[half:]
+	sort.Slice(public, func(i, j int) bool { return public[i].ID < public[j].ID })
+	sort.Slice(corpus, func(i, j int) bool { return corpus[i].ID < corpus[j].ID })
+	return public, corpus
+}
+
+// Budget enforces a per-day measurement quota like RIPE Atlas credits
+// (10k traceroutes/day for a non-privileged user in §5.2).
+type Budget struct {
+	PerDay int
+	day    int64
+	spent  int
+}
+
+// NewBudget returns a budget of n measurements per day.
+func NewBudget(n int) *Budget { return &Budget{PerDay: n} }
+
+// Spend consumes n measurements at time `when`; it returns false when the
+// day's quota is exhausted.
+func (b *Budget) Spend(when int64, n int) bool {
+	day := when / 86400
+	if day != b.day {
+		b.day, b.spent = day, 0
+	}
+	if b.spent+n > b.PerDay {
+		return false
+	}
+	b.spent += n
+	return true
+}
+
+// Remaining reports the measurements left today.
+func (b *Budget) Remaining(when int64) int {
+	day := when / 86400
+	if day != b.day {
+		return b.PerDay
+	}
+	return b.PerDay - b.spent
+}
+
+// String renders the budget state.
+func (b *Budget) String() string {
+	return fmt.Sprintf("budget{day=%d spent=%d/%d}", b.day, b.spent, b.PerDay)
+}

@@ -1,0 +1,209 @@
+package traceroute
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rrr/internal/trie"
+)
+
+// The JSON codec follows the RIPE Atlas result schema closely enough that
+// tooling written for Atlas dumps maps onto it directly:
+//
+//	{"msm_id":5051,"prb_id":1,"timestamp":100,"src_addr":"10.0.0.1",
+//	 "dst_addr":"20.0.0.1","result":[
+//	   {"hop":1,"result":[{"from":"10.0.0.254","rtt":0.51}]},
+//	   {"hop":2,"result":[{"x":"*"}]}]}
+//
+// One JSON object per line (NDJSON), as Atlas daily dumps are distributed.
+
+type jsonTrace struct {
+	MsmID     int64     `json:"msm_id"`
+	PrbID     int       `json:"prb_id"`
+	Timestamp int64     `json:"timestamp"`
+	SrcAddr   string    `json:"src_addr"`
+	DstAddr   string    `json:"dst_addr"`
+	Result    []jsonHop `json:"result"`
+}
+
+type jsonHop struct {
+	Hop    int          `json:"hop"`
+	Result []jsonHopTry `json:"result"`
+}
+
+type jsonHopTry struct {
+	From string  `json:"from,omitempty"`
+	RTT  float64 `json:"rtt,omitempty"`
+	X    string  `json:"x,omitempty"`
+}
+
+// MarshalJSON renders the traceroute in the Atlas-like schema.
+func (t *Traceroute) MarshalJSON() ([]byte, error) {
+	jt := jsonTrace{
+		MsmID:     t.MsmID,
+		PrbID:     t.ProbeID,
+		Timestamp: t.Time,
+		SrcAddr:   trie.FormatIP(t.Src),
+		DstAddr:   trie.FormatIP(t.Dst),
+	}
+	for i, h := range t.Hops {
+		jh := jsonHop{Hop: i + 1}
+		if h.Responsive() {
+			jh.Result = []jsonHopTry{{From: trie.FormatIP(h.IP), RTT: h.RTT}}
+		} else {
+			jh.Result = []jsonHopTry{{X: "*"}}
+		}
+		jt.Result = append(jt.Result, jh)
+	}
+	return json.Marshal(jt)
+}
+
+// UnmarshalJSON parses the Atlas-like schema. The destination counts as
+// reached when the last hop's address equals dst_addr.
+func (t *Traceroute) UnmarshalJSON(data []byte) error {
+	var jt jsonTrace
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	src, err := trie.ParseIP(jt.SrcAddr)
+	if err != nil {
+		return fmt.Errorf("traceroute: bad src_addr: %w", err)
+	}
+	dst, err := trie.ParseIP(jt.DstAddr)
+	if err != nil {
+		return fmt.Errorf("traceroute: bad dst_addr: %w", err)
+	}
+	*t = Traceroute{MsmID: jt.MsmID, ProbeID: jt.PrbID, Time: jt.Timestamp, Src: src, Dst: dst}
+	for _, jh := range jt.Result {
+		h := Hop{TTL: jh.Hop}
+		if len(jh.Result) > 0 && jh.Result[0].X == "" && jh.Result[0].From != "" {
+			ip, err := trie.ParseIP(jh.Result[0].From)
+			if err != nil {
+				return fmt.Errorf("traceroute: hop %d: %w", jh.Hop, err)
+			}
+			h.IP, h.RTT = ip, jh.Result[0].RTT
+		}
+		t.Hops = append(t.Hops, h)
+	}
+	if n := len(t.Hops); n > 0 && t.Hops[n-1].IP == dst {
+		t.Reached = true
+	}
+	return nil
+}
+
+// JSONReader reads newline-delimited JSON traceroutes.
+type JSONReader struct {
+	s *bufio.Scanner
+}
+
+// NewJSONReader wraps r.
+func NewJSONReader(r io.Reader) *JSONReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 256*1024), 16*1024*1024)
+	return &JSONReader{s: s}
+}
+
+// Read parses the next traceroute, returning io.EOF at end of stream.
+func (jr *JSONReader) Read() (*Traceroute, error) {
+	for jr.s.Scan() {
+		line := strings.TrimSpace(jr.s.Text())
+		if line == "" {
+			continue
+		}
+		var t Traceroute
+		if err := json.Unmarshal([]byte(line), &t); err != nil {
+			return nil, err
+		}
+		return &t, nil
+	}
+	if err := jr.s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// JSONWriter writes newline-delimited JSON traceroutes.
+type JSONWriter struct {
+	w *bufio.Writer
+}
+
+// NewJSONWriter wraps w.
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	return &JSONWriter{w: bufio.NewWriter(w)}
+}
+
+// Write emits one traceroute as a JSON line.
+func (jw *JSONWriter) Write(t *Traceroute) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	if _, err := jw.w.Write(data); err != nil {
+		return err
+	}
+	return jw.w.WriteByte('\n')
+}
+
+// Flush flushes the underlying buffer.
+func (jw *JSONWriter) Flush() error { return jw.w.Flush() }
+
+// FormatText renders the compact one-line text form:
+//
+//	<time> <probe> <src> <dst>: hop hop * hop
+func FormatText(t *Traceroute) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d %s %s:", t.Time, t.ProbeID, trie.FormatIP(t.Src), trie.FormatIP(t.Dst))
+	for _, h := range t.Hops {
+		b.WriteByte(' ')
+		b.WriteString(h.String())
+	}
+	return b.String()
+}
+
+// ParseText parses the compact one-line text form produced by FormatText.
+func ParseText(line string) (*Traceroute, error) {
+	colon := strings.IndexByte(line, ':')
+	if colon < 0 {
+		return nil, fmt.Errorf("traceroute: text %q: missing colon", line)
+	}
+	head := strings.Fields(line[:colon])
+	if len(head) != 4 {
+		return nil, fmt.Errorf("traceroute: text %q: want 'time probe src dst'", line)
+	}
+	tm, err := strconv.ParseInt(head[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("traceroute: text %q: bad time", line)
+	}
+	prb, err := strconv.Atoi(head[1])
+	if err != nil {
+		return nil, fmt.Errorf("traceroute: text %q: bad probe id", line)
+	}
+	src, err := trie.ParseIP(head[2])
+	if err != nil {
+		return nil, err
+	}
+	dst, err := trie.ParseIP(head[3])
+	if err != nil {
+		return nil, err
+	}
+	t := &Traceroute{Time: tm, ProbeID: prb, Src: src, Dst: dst}
+	for i, tok := range strings.Fields(line[colon+1:]) {
+		h := Hop{TTL: i + 1}
+		if tok != "*" {
+			ip, err := trie.ParseIP(tok)
+			if err != nil {
+				return nil, err
+			}
+			h.IP = ip
+		}
+		t.Hops = append(t.Hops, h)
+	}
+	if n := len(t.Hops); n > 0 && t.Hops[n-1].IP == dst {
+		t.Reached = true
+	}
+	return t, nil
+}

@@ -1,0 +1,208 @@
+package rrr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rrr/internal/bgp"
+	"rrr/internal/core"
+	"rrr/internal/corpus"
+	"rrr/internal/traceroute"
+)
+
+// Options configures a Monitor. Mapper is required; the remaining services
+// are optional and disable the techniques that need them when absent
+// (border-router signals need Geo, IXP signals need Rel).
+type Options struct {
+	// Config tunes windows and calibration; DefaultConfig() if zero.
+	Config Config
+	// Mapper resolves hop addresses to origin ASes and IXP LANs
+	// (longest-prefix matching over collector RIBs plus IXP prefix lists;
+	// Appendix A).
+	Mapper Mapper
+	// Aliases resolves interface addresses to routers (MIDAR-style).
+	Aliases AliasOracle
+	// Geo resolves addresses to cities for §4.2.2's inter-city border
+	// monitoring.
+	Geo Geolocator
+	// Rel answers AS relationship queries for §4.2.3's IXP inference.
+	Rel RelOracle
+	// IXPMembers seeds the IXP membership snapshot (PeeringDB-style),
+	// keyed by the Mapper's IXP identifiers.
+	IXPMembers map[int][]ASN
+}
+
+// Monitor maintains a corpus of traceroutes and flags stale entries from
+// passive feeds. It is not safe for concurrent use; drive it from one
+// goroutine (feeds are naturally serialized by time).
+type Monitor struct {
+	engine *core.Engine
+	corp   *corpus.Corpus
+	window int64
+	cur    int64
+	opened bool
+}
+
+// NewMonitor builds a Monitor.
+func NewMonitor(opts Options) (*Monitor, error) {
+	if opts.Mapper == nil {
+		return nil, fmt.Errorf("rrr: Options.Mapper is required")
+	}
+	cfg := opts.Config
+	if cfg.WindowSec == 0 {
+		cfg = DefaultConfig()
+	}
+	eng := core.NewEngine(cfg, opts.Mapper, opts.Aliases, opts.Geo, opts.Rel)
+	if opts.IXPMembers != nil {
+		eng.SetInitialIXPMembership(opts.IXPMembers)
+	}
+	return &Monitor{
+		engine: eng,
+		corp:   corpus.New(opts.Mapper, opts.Aliases),
+		window: cfg.WindowSec,
+	}, nil
+}
+
+// WindowSec returns the signal-generation window duration.
+func (m *Monitor) WindowSec() int64 { return m.window }
+
+// ObserveBGP ingests one BGP update. Feed a full table dump first to prime
+// the monitor's RIB view, then stream updates in time order.
+func (m *Monitor) ObserveBGP(u Update) { m.engine.ObserveBGP(u) }
+
+// ObservePublic ingests one public traceroute.
+func (m *Monitor) ObservePublic(t *Traceroute) { m.engine.ObservePublicTrace(t) }
+
+// Track adds a traceroute to the monitored corpus, replacing any previous
+// entry for its (src, dst) pair. Traceroutes whose AS mapping contains a
+// loop are rejected (Appendix A).
+func (m *Monitor) Track(t *Traceroute) error {
+	en, err := m.corp.Add(t)
+	if err != nil {
+		return err
+	}
+	if _, tracked := m.engine.Entry(en.Key); tracked {
+		m.engine.Reregister(en)
+	} else {
+		m.engine.AddCorpusEntry(en)
+	}
+	return nil
+}
+
+// Untrack removes a pair from the corpus.
+func (m *Monitor) Untrack(k Key) {
+	m.corp.Remove(k)
+	m.engine.RemovePair(k)
+}
+
+// Tracked returns the monitored pairs.
+func (m *Monitor) Tracked() []Key { return m.corp.Keys() }
+
+// Entry returns the stored corpus entry for a pair.
+func (m *Monitor) Entry(k Key) (*Entry, bool) { return m.corp.Get(k) }
+
+// CloseWindow finishes the signal-generation window beginning at ws
+// (seconds), returning the window's staleness prediction signals. Call once
+// per WindowSec with monotonically increasing ws, after feeding that
+// window's updates and traceroutes.
+func (m *Monitor) CloseWindow(ws int64) []Signal {
+	m.cur, m.opened = ws+m.window, true
+	return m.engine.CloseWindow(ws)
+}
+
+// Advance runs CloseWindow for every window up to (excluding) t, returning
+// all signals produced. Convenient when feeds arrive in batches.
+func (m *Monitor) Advance(t int64) []Signal {
+	var out []Signal
+	if !m.opened {
+		m.cur, m.opened = 0, true
+	}
+	for ws := m.cur; ws+m.window <= t; ws += m.window {
+		out = append(out, m.engine.CloseWindow(ws)...)
+		m.cur = ws + m.window
+	}
+	return out
+}
+
+// Stale reports whether the pair currently has active (unrevoked)
+// staleness prediction signals.
+func (m *Monitor) Stale(k Key) bool { return len(m.engine.Active(k)) > 0 }
+
+// ActiveSignals returns the pair's active signals.
+func (m *Monitor) ActiveSignals(k Key) []Signal { return m.engine.Active(k) }
+
+// StaleKeys returns all currently-flagged pairs.
+func (m *Monitor) StaleKeys() []Key {
+	var out []Key
+	for _, k := range m.corp.Keys() {
+		if m.Stale(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Potential returns the potential signals (monitors) covering a pair; an
+// empty result means the monitor lacks visibility into that pair ("unknown"
+// in §6.2's classification).
+func (m *Monitor) Potential(k Key) []Registration { return m.engine.Registrations(k) }
+
+// PlanRefresh selects up to budget flagged pairs to remeasure, using
+// §4.3.1's calibrated prioritization with Table 1 bootstrap ordering.
+func (m *Monitor) PlanRefresh(budget int, rng *rand.Rand) []Key {
+	return m.engine.RefreshPlan(budget, rng)
+}
+
+// RecordRefresh ingests a fresh measurement of a tracked pair: it scores
+// every potential signal for calibration, replaces the corpus entry, and
+// re-registers monitors. It returns the change classification relative to
+// the previous entry.
+func (m *Monitor) RecordRefresh(t *Traceroute) (ChangeClass, error) {
+	en, err := m.corp.Process(t)
+	if err != nil {
+		return Unchanged, err
+	}
+	cls, _ := m.engine.EvaluateRefresh(en)
+	if _, err := m.corp.Add(t); err != nil {
+		return cls, err
+	}
+	m.engine.Reregister(en)
+	return cls, nil
+}
+
+// SignalCounts returns cumulative per-technique signal totals.
+func (m *Monitor) SignalCounts() map[Technique]int { return m.engine.SignalCounts() }
+
+// PrunedCommunities reports how many communities calibration has learned
+// to ignore (Appendix B).
+func (m *Monitor) PrunedCommunities() int { return m.engine.Calib.PrunedCommunityCount() }
+
+// RevocationStats reports how many signals §4.3.2 revocation discarded
+// because all monitored quantities reverted to their baselines (the
+// traceroutes became fresh again without remeasurement).
+func (m *Monitor) RevocationStats() (signals, pairEvents int) {
+	return m.engine.RevocationStats()
+}
+
+// NewRIBFromUpdates is a convenience that builds a primed RIB-backed
+// monitor feed from a table dump; exported for tooling.
+func NewRIBFromUpdates(updates []Update) *bgp.RIB {
+	r := bgp.NewRIB()
+	for _, u := range updates {
+		r.Apply(u)
+	}
+	return r
+}
+
+// Classify compares a fresh measurement against the stored entry without
+// refreshing (read-only check).
+func (m *Monitor) Classify(t *Traceroute) (ChangeClass, error) {
+	return m.corp.Classify(t)
+}
+
+// Compile-time checks that facade aliases stay wired.
+var _ = func() bool {
+	var _ traceroute.Key = Key{}
+	var _ bgp.Update = Update{}
+	return true
+}()

@@ -1,0 +1,293 @@
+package rrr
+
+import (
+	"math/rand"
+	"testing"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+)
+
+// facadeMapper: AS by first octet; 240.x is IXP 1.
+type facadeMapper struct{}
+
+func (facadeMapper) ASOf(ip uint32) (bgp.ASN, bool) {
+	f := ip >> 24
+	if f == 240 || f == 0 {
+		return 0, false
+	}
+	return bgp.ASN(f), true
+}
+
+func (facadeMapper) IXPOf(ip uint32) (int, bool) {
+	if ip>>24 == 240 {
+		return 1, true
+	}
+	return 0, false
+}
+
+func ip(t *testing.T, s string) uint32 {
+	t.Helper()
+	v, err := ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func trace(t *testing.T, when int64, src, dst string, hops ...string) *Traceroute {
+	t.Helper()
+	tr := &Traceroute{Src: ip(t, src), Dst: ip(t, dst), Time: when}
+	for i, h := range hops {
+		hop := Hop{TTL: i + 1}
+		if h != "*" {
+			hop.IP = ip(t, h)
+		}
+		tr.Hops = append(tr.Hops, hop)
+	}
+	return tr
+}
+
+func newTestMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	aliases := bordermap.OracleFunc(func(v uint32) (int, bool) { return int(v), true })
+	m, err := NewMonitor(Options{Mapper: facadeMapper{}, Aliases: aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func announceUpd(t *testing.T, tm int64, vpIP string, as ASN, prefix string, path []ASN) Update {
+	t.Helper()
+	p, err := ParsePrefix(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Update{Time: tm, PeerIP: ip(t, vpIP), PeerAS: as, Type: bgp.Announce,
+		Prefix: p, ASPath: path}
+}
+
+func TestMonitorRequiresMapper(t *testing.T) {
+	if _, err := NewMonitor(Options{}); err == nil {
+		t.Fatal("want error without mapper")
+	}
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	m := newTestMonitor(t)
+	// Prime the RIB: two VPs with routes to 4.0.0.0/8.
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	m.ObserveBGP(announceUpd(t, 0, "6.0.0.9", 6, "4.0.0.0/8", []ASN{6, 3, 4}))
+
+	// Track a corpus traceroute.
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.2", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tracked()) != 1 {
+		t.Fatal("Tracked != 1")
+	}
+	if len(m.Potential(tr.Key())) == 0 {
+		t.Fatal("no potential signals")
+	}
+
+	// Quiet windows via Advance, then a suffix change.
+	if sigs := m.Advance(45 * 900); len(sigs) != 0 {
+		t.Fatalf("quiet advance produced %d signals", len(sigs))
+	}
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	sigs := m.Advance(46 * 900)
+	if len(sigs) == 0 {
+		t.Fatal("suffix change produced no signals")
+	}
+	if !m.Stale(tr.Key()) {
+		t.Fatal("pair should be stale")
+	}
+	if len(m.StaleKeys()) != 1 {
+		t.Fatal("StaleKeys != 1")
+	}
+
+	// Refresh planning respects budget.
+	plan := m.PlanRefresh(1, rand.New(rand.NewSource(1)))
+	if len(plan) != 1 || plan[0] != tr.Key() {
+		t.Fatalf("plan = %v", plan)
+	}
+
+	// Record a refresh showing the change.
+	fresh := trace(t, 46*900, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "9.0.0.1", "4.0.0.3", "4.0.0.9")
+	cls, err := m.RecordRefresh(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != ASChange {
+		t.Fatalf("cls = %v; want AS change", cls)
+	}
+	if m.Stale(tr.Key()) {
+		t.Fatal("refresh should clear staleness")
+	}
+	counts := m.SignalCounts()
+	if counts[TechBGPASPath] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestMonitorUntrack(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Untrack(tr.Key())
+	if len(m.Tracked()) != 0 || len(m.Potential(tr.Key())) != 0 {
+		t.Fatal("untrack incomplete")
+	}
+}
+
+func TestMonitorClassifyReadOnly(t *testing.T) {
+	m := newTestMonitor(t)
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	same := trace(t, 900, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	cls, err := m.Classify(same)
+	if err != nil || cls != Unchanged {
+		t.Fatalf("classify same = %v, %v", cls, err)
+	}
+	diff := trace(t, 900, "1.0.0.1", "4.0.0.9", "1.0.0.2", "7.0.0.1", "3.0.0.1", "4.0.0.9")
+	cls, err = m.Classify(diff)
+	if err != nil || cls != ASChange {
+		t.Fatalf("classify diff = %v, %v", cls, err)
+	}
+	// Classify must not replace the stored entry.
+	en, _ := m.Entry(tr.Key())
+	if en.Trace.Time != 0 {
+		t.Fatal("classify replaced entry")
+	}
+}
+
+func TestMonitorTrackRejectsLoops(t *testing.T) {
+	m := newTestMonitor(t)
+	loop := trace(t, 0, "1.0.0.1", "1.0.0.9", "1.0.0.2", "2.0.0.1", "1.0.0.3")
+	if err := m.Track(loop); err == nil {
+		t.Fatal("AS-loop trace accepted")
+	}
+}
+
+func TestNewRIBFromUpdates(t *testing.T) {
+	ups := []Update{
+		announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 4}),
+		announceUpd(t, 1, "6.0.0.9", 6, "4.0.0.0/8", []ASN{6, 4}),
+	}
+	rib := NewRIBFromUpdates(ups)
+	if got := len(rib.VPs()); got != 2 {
+		t.Fatalf("VPs = %d; want 2", got)
+	}
+}
+
+func TestMonitorPrunedCommunities(t *testing.T) {
+	m := newTestMonitor(t)
+	if m.PrunedCommunities() != 0 {
+		t.Fatal("fresh monitor has pruned communities")
+	}
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	m.ObserveBGP(announceUpd(t, 0, "6.0.0.9", 6, "4.0.0.0/8", []ASN{6, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(3 * 900)
+	// A community change that repeated refreshes disprove gets pruned.
+	u := announceUpd(t, 3*900+5, "6.0.0.9", 6, "4.0.0.0/8", []ASN{6, 3, 4})
+	u.Communities = Communities3(3, 7000)
+	m.ObserveBGP(u)
+	m.Advance(4 * 900)
+	if !m.Stale(tr.Key()) {
+		t.Fatal("community signal missing")
+	}
+	// Refresh shows no change: community outcome recorded as FP.
+	same := trace(t, 4*900, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if _, err := m.RecordRefresh(same); err != nil {
+		t.Fatal(err)
+	}
+	if m.PrunedCommunities() == 0 {
+		t.Fatal("false-positive community not pruned (quota 1)")
+	}
+}
+
+// Communities3 builds a one-element community set (test helper).
+func Communities3(as ASN, v uint16) []Community {
+	return []Community{MakeCommunity(as, v)}
+}
+
+func TestCloseWindowThenAdvanceNoDoubleClose(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.CloseWindow(0)
+	// Advance must resume at window 1, not re-close window 0; with 45
+	// total windows of history the detector behaves identically to the
+	// pure-Advance path.
+	m.Advance(45 * 900)
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	if sigs := m.Advance(46 * 900); len(sigs) == 0 {
+		t.Fatal("mixed CloseWindow/Advance missed the change")
+	}
+}
+
+func TestActiveSignalsAndFormatIP(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(45 * 900)
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	m.Advance(46 * 900)
+	sigs := m.ActiveSignals(tr.Key())
+	if len(sigs) == 0 {
+		t.Fatal("no active signals")
+	}
+	if got := FormatIP(tr.Key().Src); got != "1.0.0.1" {
+		t.Fatalf("FormatIP = %q", got)
+	}
+	// RecordRefresh on an untracked pair errors cleanly via Classify path.
+	other := trace(t, 0, "8.0.0.1", "4.0.0.9", "8.0.0.2", "4.0.0.9")
+	if _, err := m.RecordRefresh(other); err != nil {
+		t.Fatalf("refresh of untracked pair should register it: %v", err)
+	}
+	if _, ok := m.Entry(other.Key()); !ok {
+		t.Fatal("untracked refresh did not store entry")
+	}
+}
+
+func TestRevocationStats(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(45 * 900)
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	m.Advance(46 * 900)
+	if !m.Stale(tr.Key()) {
+		t.Fatal("not stale")
+	}
+	// Revert and settle.
+	m.ObserveBGP(announceUpd(t, 46*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	m.Advance(48 * 900)
+	if m.Stale(tr.Key()) {
+		t.Fatal("still stale after revert")
+	}
+	sigs, pairs := m.RevocationStats()
+	if sigs == 0 || pairs == 0 {
+		t.Fatalf("revocation stats = %d, %d; want > 0", sigs, pairs)
+	}
+}

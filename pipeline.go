@@ -1,0 +1,145 @@
+package rrr
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"rrr/internal/bgp"
+)
+
+// UpdateSource produces BGP updates in time order (io.EOF ends the feed).
+// bgp.Merger, the MRT/binary/text readers, and simulator feeds implement it.
+type UpdateSource = bgp.UpdateSource
+
+// TraceSource produces public traceroutes in time order (io.EOF ends the
+// feed).
+type TraceSource interface {
+	Read() (*Traceroute, error)
+}
+
+// TraceSliceSource serves traceroutes from memory.
+type TraceSliceSource struct {
+	traces []*Traceroute
+	i      int
+}
+
+// NewTraceSliceSource wraps a slice.
+func NewTraceSliceSource(ts []*Traceroute) *TraceSliceSource {
+	return &TraceSliceSource{traces: ts}
+}
+
+// Read implements TraceSource.
+func (s *TraceSliceSource) Read() (*Traceroute, error) {
+	if s.i >= len(s.traces) {
+		return nil, io.EOF
+	}
+	t := s.traces[s.i]
+	s.i++
+	return t, nil
+}
+
+// Pipeline drives a Monitor from a BGP feed and a public-traceroute feed:
+// the two time-ordered streams are interleaved by timestamp, windows close
+// automatically at each WindowSec boundary, and every staleness prediction
+// signal is delivered to sink as it is generated. Either source may be nil.
+// Pipeline returns when both feeds are exhausted (closing the final
+// window), when ctx is cancelled, or on the first feed error.
+//
+// This is the integration shape of a production deployment: one goroutine
+// owns the Monitor while collector dumps and traceroute archives stream in.
+func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces TraceSource, sink func(Signal)) error {
+	var (
+		pendingU Update
+		haveU    bool
+		uDone    = updates == nil
+		pendingT *Traceroute
+		tDone    = traces == nil
+		window   = m.WindowSec()
+		curIdx   int64
+		started  bool
+	)
+
+	emit := func(sigs []Signal) {
+		if sink == nil {
+			return
+		}
+		for _, s := range sigs {
+			sink(s)
+		}
+	}
+	advanceTo := func(t int64) {
+		idx := t / window
+		if !started {
+			started = true
+			curIdx = idx
+			return
+		}
+		for ; curIdx < idx; curIdx++ {
+			emit(m.CloseWindow(curIdx * window))
+		}
+	}
+
+	fillU := func() error {
+		if uDone || haveU {
+			return nil
+		}
+		u, err := updates.Read()
+		if err == io.EOF {
+			uDone = true
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("rrr: bgp feed: %w", err)
+		}
+		pendingU, haveU = u, true
+		return nil
+	}
+	fillT := func() error {
+		if tDone || pendingT != nil {
+			return nil
+		}
+		t, err := traces.Read()
+		if err == io.EOF {
+			tDone = true
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("rrr: traceroute feed: %w", err)
+		}
+		pendingT = t
+		return nil
+	}
+
+	for {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		if err := fillU(); err != nil {
+			return err
+		}
+		if err := fillT(); err != nil {
+			return err
+		}
+		switch {
+		case haveU && (pendingT == nil || pendingU.Time <= pendingT.Time):
+			advanceTo(pendingU.Time)
+			m.ObserveBGP(pendingU)
+			haveU = false
+		case pendingT != nil:
+			advanceTo(pendingT.Time)
+			m.ObservePublic(pendingT)
+			pendingT = nil
+		default:
+			// Both feeds exhausted: close the final window.
+			if started {
+				emit(m.CloseWindow(curIdx * window))
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package rrr
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+)
+
+func TestPipelineInterleavesAndSignals(t *testing.T) {
+	aliases := bordermap.OracleFunc(func(v uint32) (int, bool) { return int(v), true })
+	m, err := NewMonitor(Options{Mapper: facadeMapper{}, Aliases: aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime and track outside the pipeline (table dump + corpus).
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// BGP feed: quiet keepalive announcements every window, then the
+	// suffix shift at window 45.
+	var updates []Update
+	for w := int64(1); w < 45; w++ {
+		updates = append(updates,
+			announceUpd(t, w*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	}
+	updates = append(updates,
+		announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	updates = append(updates,
+		announceUpd(t, 46*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+
+	// A public traceroute feed interleaved with the updates.
+	var traces []*Traceroute
+	for w := int64(0); w < 46; w += 4 {
+		traces = append(traces, trace(t, w*900+100, "9.0.0.1", "4.0.0.8",
+			"9.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.8"))
+	}
+
+	var got []Signal
+	err = Pipeline(context.Background(), m,
+		bgp.NewSliceSource(updates), NewTraceSliceSource(traces),
+		func(s Signal) { got = append(got, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("pipeline produced no signals")
+	}
+	found := false
+	for _, s := range got {
+		if s.Technique == TechBGPASPath && s.Key == tr.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no AS-path signal in %v", got)
+	}
+	if !m.Stale(tr.Key()) {
+		t.Fatal("pair not stale after pipeline")
+	}
+}
+
+func TestPipelineNilFeeds(t *testing.T) {
+	m := newTestMonitor(t)
+	if err := Pipeline(context.Background(), m, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	m := newTestMonitor(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	updates := []Update{announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 4})}
+	err := Pipeline(ctx, m, bgp.NewSliceSource(updates), nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+}
+
+type failingTraceSource struct{}
+
+func (failingTraceSource) Read() (*Traceroute, error) { return nil, io.ErrUnexpectedEOF }
+
+func TestPipelineFeedErrorPropagates(t *testing.T) {
+	m := newTestMonitor(t)
+	err := Pipeline(context.Background(), m, nil, failingTraceSource{}, nil)
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v; want wrapped unexpected EOF", err)
+	}
+}
+
+func TestPipelineClosesFinalWindow(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up through Advance, then a single-update feed whose change
+	// should be signaled by the *final* window close inside Pipeline.
+	m.Advance(45 * 900)
+	updates := []Update{
+		announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}),
+		announceUpd(t, 46*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}),
+	}
+	var got []Signal
+	if err := Pipeline(context.Background(), m, bgp.NewSliceSource(updates), nil,
+		func(s Signal) { got = append(got, s) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("final window close produced no signals")
+	}
+}
