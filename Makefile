@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector matters here: the sharded engine, Monitor, and
+# Pipeline are concurrent, and the equivalence/concurrency tests only
+# prove their locking under -race.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 10x ./internal/core/
+
+# Tier-1 verification plus vet and the race pass.
+verify: build vet test race

@@ -11,7 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"rrr/internal/experiments"
 )
@@ -20,7 +23,8 @@ func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	days := flag.Int("days", 0, "override experiment duration in days")
 	seed := flag.Int64("seed", 0, "override simulation seed (0 keeps the scale default)")
-	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16)")
+	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench)")
+	shards := flag.String("shards", "1,2,4", "shard counts for -only enginebench (comma-separated)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -104,8 +108,32 @@ func main() {
 			printFig15(c)
 		}
 	}
+	if len(want) != 0 && want["enginebench"] {
+		var counts []int
+		for _, s := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -shards entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		printEngineBench(experiments.RunEngineBench(sc, counts))
+	}
 	if run("fig16") {
 		printFig16(experiments.RunIPlane(sc))
+	}
+}
+
+func printEngineBench(rs []experiments.EngineBenchResult) {
+	fmt.Println("\n=== Engine bench: feed throughput by shard count ===")
+	fmt.Printf("(GOMAXPROCS=%d; speedup needs that many real cores)\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %-8s %-8s %-9s %-12s %-12s %-8s\n",
+		"shards", "windows", "pairs", "signals", "elapsed", "per-window", "speedup")
+	for _, r := range rs {
+		fmt.Printf("%-8d %-8d %-8d %-9d %-12s %-12s %-8.2f\n",
+			r.Shards, r.Windows, r.Pairs, r.Signals, r.Elapsed.Round(time.Millisecond),
+			r.PerWindow.Round(time.Microsecond), r.Speedup)
 	}
 }
 

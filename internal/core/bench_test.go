@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -125,5 +126,116 @@ func BenchmarkEnginePublicTrace(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.ObservePublicTrace(traces[i&63])
+	}
+}
+
+// shardedBenchEnv mirrors benchEnv on the sharded engine.
+func shardedBenchEnv(b *testing.B, shards, pairs int) *Sharded {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.IXPBootstrapSec = 0
+	cfg.Shards = shards
+	e := NewSharded(cfg, testMapper{}, identityAliases, mapGeo{}, mapRel{})
+	corp := corpus.New(testMapper{}, identityAliases)
+
+	pfx, err := trie.ParsePrefix("4.0.0.0/8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for v := 0; v < 12; v++ {
+		e.ObserveBGP(bgp.Update{
+			Time: 0, PeerIP: uint32(5+v)<<24 | 9, PeerAS: bgp.ASN(5 + v),
+			Type: bgp.Announce, Prefix: pfx,
+			ASPath: bgp.Path{bgp.ASN(5 + v), 2, 3, 4},
+		})
+	}
+	for i := 0; i < pairs; i++ {
+		tr := &traceroute.Traceroute{
+			Src: uint32(1)<<24 | uint32(i+1),
+			Dst: uint32(4)<<24 | uint32(0xc000+i),
+		}
+		for h, ip := range []uint32{
+			1<<24 | uint32(i+1000),
+			2<<24 | 1, 3<<24 | 1, 4<<24 | 2,
+			4<<24 | uint32(0xc000+i),
+		} {
+			tr.Hops = append(tr.Hops, traceroute.Hop{TTL: h + 1, IP: ip})
+		}
+		en, err := corp.Process(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.AddCorpusEntry(en)
+	}
+	return e
+}
+
+// BenchmarkShardedQuietWindow measures the CloseWindow fan-out with no
+// feed events at several shard counts (2000 pairs). shards=1 is the exact
+// serial path, the baseline for parallel speedup.
+func BenchmarkShardedQuietWindow(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := shardedBenchEnv(b, shards, 2000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.CloseWindow(int64(i) * 900)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedBusyWindow measures a window containing a VP path change
+// affecting all monitored pairs, at several shard counts.
+func BenchmarkShardedBusyWindow(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := shardedBenchEnv(b, shards, 2000)
+			pfx, _ := trie.ParsePrefix("4.0.0.0/8")
+			for i := 0; i < 30; i++ {
+				e.CloseWindow(int64(i) * 900)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path := bgp.Path{5, 2, 3, 4}
+				if i%2 == 0 {
+					path = bgp.Path{5, 2, 9, 4}
+				}
+				e.ObserveBGP(bgp.Update{
+					Time: int64(30+i) * 900, PeerIP: 5<<24 | 9, PeerAS: 5,
+					Type: bgp.Announce, Prefix: pfx, ASPath: path,
+				})
+				e.CloseWindow(int64(30+i) * 900)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedPublicTrace measures public-feed intake through the
+// dispatcher's prepare-once/broadcast path.
+func BenchmarkShardedPublicTrace(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := shardedBenchEnv(b, shards, 500)
+			rng := rand.New(rand.NewSource(1))
+			traces := make([]*traceroute.Traceroute, 64)
+			for i := range traces {
+				tr := &traceroute.Traceroute{
+					Src:  9<<24 | uint32(rng.Intn(1000)+1),
+					Dst:  4<<24 | uint32(rng.Intn(100)+0xd000),
+					Time: int64(i) * 10,
+				}
+				for h, ip := range []uint32{9<<24 | 2, 2<<24 | 1, 3<<24 | 1, 4<<24 | 2} {
+					tr.Hops = append(tr.Hops, traceroute.Hop{TTL: h + 1, IP: ip})
+				}
+				traces[i] = tr
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ObservePublicTrace(traces[i&63])
+			}
+			b.StopTimer()
+			e.CloseWindow(0)
+		})
 	}
 }

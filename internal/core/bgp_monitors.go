@@ -118,7 +118,12 @@ func (e *Engine) vpColocation(vp bgp.VPKey, en *corpus.Entry) (sameAS, sameCity 
 }
 
 // registerBGPMonitors wires a corpus entry into the three BGP techniques.
-func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
+// With attach false it only replicates the shared extra-AS series (§4.1.4's
+// exculpation set) without registering any per-pair monitor: shadow shards
+// of a Sharded engine keep replicas of every shared series so their
+// detector state matches the serial engine's no matter which shard a later
+// entry lands on.
+func (e *Engine) registerBGPMonitors(en *corpus.Entry, attach bool) {
 	vps := e.rib.VPs()
 	tauASes := make(map[bgp.ASN]int, len(en.ASPath)) // AS → hop index
 	for i, as := range en.ASPath {
@@ -164,7 +169,7 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 		firstIdxs = append(firstIdxs, j)
 	}
 	sort.Ints(firstIdxs)
-	if e.cfg.disabled(TechBGPASPath) {
+	if e.cfg.disabled(TechBGPASPath) || !attach {
 		firstIdxs = nil
 	}
 	for _, j := range firstIdxs {
@@ -221,24 +226,27 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 		if len(shared) < e.cfg.MinSuffixVPs {
 			continue
 		}
-		bm := &burstMonitor{
-			id:     e.nextID(),
-			key:    en.Key,
-			suffix: suffix.Clone(),
-			det:    anomaly.NewBitmap(),
-		}
-		if st := e.retired[en.Key]["burst:"+bm.suffix.String()]; st != nil {
-			if det, ok := st.det.(*anomaly.BitmapDetector); ok {
-				bm.det = det
+		var bm *burstMonitor
+		if attach {
+			bm = &burstMonitor{
+				id:     e.nextID(),
+				key:    en.Key,
+				suffix: suffix.Clone(),
+				det:    anomaly.NewBitmap(),
 			}
+			if st := e.retired[en.Key]["burst:"+bm.suffix.String()]; st != nil {
+				if det, ok := st.det.(*anomaly.BitmapDetector); ok {
+					bm.det = det
+				}
+			}
+			for _, in := range shared {
+				bm.slots = append(bm.slots, vpSlot{vp: in.vp, pf: in.pf})
+				sa, sc := e.vpColocation(in.vp, en)
+				bm.sameAS = bm.sameAS || sa
+				bm.sameCity = bm.sameCity || sc
+			}
+			bm.borders = bordersForSuffix(en, suffix)
 		}
-		for _, in := range shared {
-			bm.slots = append(bm.slots, vpSlot{vp: in.vp, pf: in.pf})
-			sa, sc := e.vpColocation(in.vp, en)
-			bm.sameAS = bm.sameAS || sa
-			bm.sameCity = bm.sameCity || sc
-		}
-		bm.borders = bordersForSuffix(en, suffix)
 		// Extra ASes: on ≥2 shared VPs' paths but not on τ.
 		counts := make(map[bgp.ASN]int)
 		for _, in := range shared {
@@ -269,10 +277,21 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 				}
 				e.extras[ek] = es
 			}
-			bm.extras = append(bm.extras, es)
+			if bm != nil {
+				bm.extras = append(bm.extras, es)
+			}
 		}
-		e.bursts = append(e.bursts, bm)
-		e.addReg(en.Key, Registration{MonitorID: bm.id, Technique: TechBGPBurst, Borders: bm.borders})
+		if bm != nil {
+			e.bursts = append(e.bursts, bm)
+			e.addReg(en.Key, Registration{MonitorID: bm.id, Technique: TechBGPBurst, Borders: bm.borders})
+		}
+	}
+
+	if !attach {
+		// Shadow registration replicates shared series only; per-pair
+		// community monitors (and their ID allocation) stay on the shard
+		// that owns the entry.
+		return
 	}
 
 	// §4.1.3: one community monitor per τ over VPs overlapping an
@@ -380,7 +399,13 @@ func (e *Engine) ObserveBGP(u bgp.Update) {
 	if bgp.FilterTooSpecific(u.Prefix) {
 		return
 	}
-	c := e.rib.Apply(u)
+	e.observeBGPChange(u, e.rib.Apply(u))
+}
+
+// observeBGPChange folds one already-applied RIB change into the window
+// state. It never touches the RIB, so a Sharded engine can apply each
+// update once and fan the change out to every shard's window replica.
+func (e *Engine) observeBGPChange(u bgp.Update, c bgp.Change) {
 	key := vpPrefix{vp: c.VP, pf: u.Prefix}
 	st := e.winUpdates[key]
 	if st == nil {

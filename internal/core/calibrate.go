@@ -316,6 +316,15 @@ func (e *Engine) RemovePair(k traceroute.Key) {
 // budget, then fall back to Table 1's bootstrap ordering for uncalibrated
 // signals.
 func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
+	return refreshPlan(e.active, e.regs, e.Calib, budget, rng)
+}
+
+// refreshPlan is RefreshPlan over explicit state, so a Sharded engine can
+// merge per-shard active/registration maps and plan globally. Its outcome
+// depends only on the map contents, not iteration order: every candidate
+// list is sorted before budget is spent.
+func refreshPlan(active map[traceroute.Key][]Signal, regs map[traceroute.Key][]Registration,
+	calib *Calibrator, budget int, rng *rand.Rand) []traceroute.Key {
 	type vpState struct {
 		src     uint32
 		sumTPR  float64
@@ -324,7 +333,7 @@ func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
 		anyInit bool
 	}
 	bySrc := make(map[uint32]*vpState)
-	for k, sigs := range e.active {
+	for k, sigs := range active {
 		if len(sigs) == 0 {
 			continue
 		}
@@ -336,7 +345,7 @@ func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
 		st.keys[k] = true
 		st.sigs = append(st.sigs, sigs...)
 		for _, s := range sigs {
-			if tpr, _, ok := e.Calib.Rates(k.Src, s.MonitorID); ok {
+			if tpr, _, ok := calib.Rates(k.Src, s.MonitorID); ok {
 				st.sumTPR += tpr
 				st.anyInit = true
 			}
@@ -375,16 +384,16 @@ func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
 			if m, ok := signaledMon[s.Key]; ok {
 				m[s.MonitorID] = true
 			}
-			if tpr, _, ok := e.Calib.Rates(st.src, s.MonitorID); ok {
+			if tpr, _, ok := calib.Rates(st.src, s.MonitorID); ok {
 				sumTPR += tpr
 			}
 		}
 		for k := range st.keys {
-			for _, reg := range e.regs[k] {
+			for _, reg := range regs[k] {
 				if signaledMon[k][reg.MonitorID] {
 					continue
 				}
-				if _, tnr, ok := e.Calib.Rates(st.src, reg.MonitorID); ok {
+				if _, tnr, ok := calib.Rates(st.src, reg.MonitorID); ok {
 					sumTNR += tnr
 				}
 			}
@@ -412,7 +421,7 @@ func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
 	// Step 5: bootstrap ordering over remaining signals (Table 1).
 	if remaining > 0 {
 		var rest []Signal
-		for k, sigs := range e.active {
+		for k, sigs := range active {
 			if chosenSet[k] {
 				continue
 			}

@@ -163,6 +163,12 @@ type Config struct {
 	// even registered), for ablation studies: the paper's Table 2 "unique"
 	// columns quantify what each technique contributes.
 	Disabled []Technique
+	// Shards is how many parallel shards NewSharded partitions the corpus
+	// across: 0 means runtime.GOMAXPROCS(0), 1 is the exact serial path.
+	// The sharded engine's signal stream is identical to the serial
+	// engine's regardless of the value. NewEngine ignores it (a plain
+	// Engine is one shard).
+	Shards int
 }
 
 // disabled reports whether a technique is switched off.
@@ -187,6 +193,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// withDefaults resolves zero-valued fields to the paper's parameters, so a
+// partially-filled Config gets the same values DefaultConfig would give.
+func (c Config) withDefaults() Config {
+	if c.WindowSec == 0 {
+		c.WindowSec = 900
+	}
+	if c.MinSuffixVPs == 0 {
+		c.MinSuffixVPs = 2
+	}
+	if c.CalibrationWindows == 0 {
+		c.CalibrationWindows = 30
+	}
+	if c.CommunityFPQuota == 0 {
+		c.CommunityFPQuota = 1
+	}
+	return c
+}
+
 // Engine consumes BGP updates and public traceroutes and emits staleness
 // prediction signals for a registered corpus.
 type Engine struct {
@@ -206,10 +230,10 @@ type Engine struct {
 	destToKeys map[uint32][]traceroute.Key
 
 	// Per-window BGP state.
-	window      int64 // current window start; -1 before first observation
-	winUpdates  map[vpPrefix]*vpWindowState
-	winComms    []commEvent
-	nextMonitor int
+	window     int64 // current window start; -1 before first observation
+	winUpdates map[vpPrefix]*vpWindowState
+	winComms   []commEvent
+	ids        *idAlloc
 
 	asp      []*aspMonitor
 	aspByVP  map[vpPrefix][]*aspMonitor
@@ -225,7 +249,6 @@ type Engine struct {
 	borders     map[borderGroupKey]*borderGroup
 	brsByKey    map[traceroute.Key][]*borderRouterSeries
 	pendingIXP  []Signal
-	ixpMonIDs   map[[2]int]int
 	ixpMembers  map[int]map[bgp.ASN]bool
 	ixpObserved map[int]map[bgp.ASN]bool
 	allowPriv   map[bgp.ASN]bool
@@ -248,6 +271,33 @@ type Engine struct {
 	deadASP        int
 	revokedSignals int
 	revokedPairs   int
+	windowsClosed  int
+}
+
+// idAlloc issues monitor identifiers. The shards of one Sharded engine
+// share a single allocator so IDs match the serial engine's allocation
+// order exactly: per-pair monitors draw fresh IDs with next, while
+// monitors shared across corpus entries (subpaths, border-router series)
+// are named and allocate only on first use.
+type idAlloc struct {
+	n     int
+	named map[string]int
+}
+
+func newIDAlloc() *idAlloc { return &idAlloc{named: make(map[string]int)} }
+
+func (a *idAlloc) next() int {
+	a.n++
+	return a.n
+}
+
+func (a *idAlloc) idFor(name string) int {
+	if id, ok := a.named[name]; ok {
+		return id
+	}
+	id := a.next()
+	a.named[name] = id
+	return id
 }
 
 // retiredState preserves a monitor's detector and revocation baseline
@@ -285,30 +335,29 @@ type commEvent struct {
 // table dump (via ObserveBGP) before corpus traceroutes are registered, as
 // the paper starts BGP collection two days before corpus initialization.
 func NewEngine(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle) *Engine {
-	if cfg.WindowSec == 0 {
-		cfg.WindowSec = 900
-	}
-	if cfg.MinSuffixVPs == 0 {
-		cfg.MinSuffixVPs = 2
-	}
-	if cfg.CalibrationWindows == 0 {
-		cfg.CalibrationWindows = 30
-	}
-	if cfg.CommunityFPQuota == 0 {
-		cfg.CommunityFPQuota = 3
-	}
+	cfg = cfg.withDefaults()
+	calib := NewCalibrator(cfg.CalibrationWindows, cfg.CommunityFPQuota)
+	return newEngineWith(cfg, m, aliases, geo, rel, bgp.NewRIB(), newIDAlloc(), calib, traceroute.NewPatcher())
+}
+
+// newEngineWith builds one engine around externally-owned shared services:
+// NewSharded passes the same RIB, ID allocator, calibrator, and patcher to
+// every shard. cfg must already have defaults resolved.
+func newEngineWith(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle,
+	rib *bgp.RIB, ids *idAlloc, calib *Calibrator, patcher *traceroute.Patcher) *Engine {
 	e := &Engine{
 		cfg:         cfg,
 		mapper:      m,
 		aliases:     aliases,
 		geo:         geo,
 		rel:         rel,
-		rib:         bgp.NewRIB(),
+		rib:         rib,
 		entries:     make(map[traceroute.Key]*corpus.Entry),
 		regs:        make(map[traceroute.Key][]Registration),
 		destToKeys:  make(map[uint32][]traceroute.Key),
 		window:      -1,
 		winUpdates:  make(map[vpPrefix]*vpWindowState),
+		ids:         ids,
 		aspByVP:     make(map[vpPrefix][]*aspMonitor),
 		aspByKey:    make(map[traceroute.Key][]*aspMonitor),
 		extras:      make(map[extraKey]*extraSeries),
@@ -322,11 +371,11 @@ func NewEngine(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, g
 		ixpMembers:  make(map[int]map[bgp.ASN]bool),
 		ixpObserved: make(map[int]map[bgp.ASN]bool),
 		allowPriv:   make(map[bgp.ASN]bool),
-		patcher:     traceroute.NewPatcher(),
+		patcher:     patcher,
 		retired:     make(map[traceroute.Key]map[string]*retiredState),
 		active:      make(map[traceroute.Key][]Signal),
 	}
-	e.Calib = NewCalibrator(cfg.CalibrationWindows, cfg.CommunityFPQuota)
+	e.Calib = calib
 	return e
 }
 
@@ -377,31 +426,53 @@ func (e *Engine) SetInitialIXPMembership(members map[int][]bgp.ASN) {
 // (§4.2.3's learned exception).
 func (e *Engine) AllowPrivatePeerSignals(as bgp.ASN) { e.allowPriv[as] = true }
 
-func (e *Engine) nextID() int {
-	e.nextMonitor++
-	return e.nextMonitor
-}
+func (e *Engine) nextID() int { return e.ids.next() }
+
+// WindowsClosed reports how many CloseWindow calls the engine has run.
+func (e *Engine) WindowsClosed() int { return e.windowsClosed }
 
 func (e *Engine) addReg(k traceroute.Key, r Registration) {
 	e.regs[k] = append(e.regs[k], r)
 }
 
+// signalLess is a total order over distinguishable signals, so sorting a
+// merged multi-shard signal stream reproduces the serial engine's output
+// byte for byte (sort.Slice is unstable; a partial order would let equal-
+// keyed signals land in input order, which differs across shard merges).
+func signalLess(a, b Signal) bool {
+	if a.WindowStart != b.WindowStart {
+		return a.WindowStart < b.WindowStart
+	}
+	if a.Technique != b.Technique {
+		return a.Technique < b.Technique
+	}
+	if a.Key.Src != b.Key.Src {
+		return a.Key.Src < b.Key.Src
+	}
+	if a.Key.Dst != b.Key.Dst {
+		return a.Key.Dst < b.Key.Dst
+	}
+	if a.MonitorID != b.MonitorID {
+		return a.MonitorID < b.MonitorID
+	}
+	if a.Detail != b.Detail {
+		return a.Detail < b.Detail
+	}
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	if len(a.Borders) != len(b.Borders) {
+		return len(a.Borders) < len(b.Borders)
+	}
+	for i := range a.Borders {
+		if a.Borders[i] != b.Borders[i] {
+			return a.Borders[i] < b.Borders[i]
+		}
+	}
+	return false
+}
+
 // sortSignals orders signals deterministically.
 func sortSignals(sigs []Signal) {
-	sort.Slice(sigs, func(i, j int) bool {
-		a, b := sigs[i], sigs[j]
-		if a.WindowStart != b.WindowStart {
-			return a.WindowStart < b.WindowStart
-		}
-		if a.Technique != b.Technique {
-			return a.Technique < b.Technique
-		}
-		if a.Key.Src != b.Key.Src {
-			return a.Key.Src < b.Key.Src
-		}
-		if a.Key.Dst != b.Key.Dst {
-			return a.Key.Dst < b.Key.Dst
-		}
-		return a.MonitorID < b.MonitorID
-	})
+	sort.Slice(sigs, func(i, j int) bool { return signalLess(sigs[i], sigs[j]) })
 }

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+	"rrr/internal/corpus"
+	"rrr/internal/traceroute"
+)
+
+// shardFlushThreshold bounds how many observations buffer before the
+// dispatcher forces a drain, capping memory and giving feed readers
+// backpressure.
+const shardFlushThreshold = 4096
+
+// shardOp is one buffered broadcast observation: either a classified BGP
+// change or a prepared public traceroute.
+type shardOp struct {
+	update bgp.Update
+	change bgp.Change
+	trace  *preparedTrace
+}
+
+// Sharded partitions an Engine across Config.Shards shards keyed by corpus
+// pair, so ObserveBGP, ObservePublicTrace, and especially CloseWindow fan
+// out across a bounded worker pool (one goroutine per shard, spawned only
+// while a call is draining — the engine owns no long-lived goroutines and
+// needs no Close).
+//
+// The signal stream is byte-identical to the serial engine's for the same
+// feed, for any shard count:
+//
+//   - All shards share one RIB, calibrator, patcher, and monitor-ID
+//     allocator. The dispatcher applies each update and patches each
+//     traceroute exactly once, then broadcasts the immutable result.
+//   - Per-pair monitors live only on the shard owning the pair; monitors
+//     shared across pairs (subpaths, border-router series, extra-AS
+//     series) are replicated on every shard from the moment any pair
+//     first registers them, so every replica sees the full observation
+//     stream and carries the same detector state as the serial engine's
+//     single instance.
+//   - Each shard processes the broadcast stream in feed order, and merged
+//     window signals pass through a total-order sort.
+//
+// Registrations, refresh evaluation, and queries run on the caller's
+// goroutine between drains, exactly as in the serial engine. Sharded is
+// safe for concurrent use, but the feed semantics are unchanged: updates
+// and traceroutes must still arrive in time order, so concurrent feeders
+// must serialize externally (the Monitor facade does).
+type Sharded struct {
+	mu      sync.Mutex
+	cfg     Config
+	shards  []*Engine
+	rib     *bgp.RIB
+	patcher *traceroute.Patcher
+	mapper  traceroute.Mapper
+	aliases bordermap.AliasOracle
+
+	// Calib is the shared §4.3 calibrator; exported like Engine.Calib.
+	Calib *Calibrator
+
+	ops []shardOp
+}
+
+// NewSharded builds a sharded engine. cfg.Shards of 0 means
+// runtime.GOMAXPROCS(0); 1 runs the serial path with no buffering.
+func NewSharded(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle) *Sharded {
+	cfg = cfg.withDefaults()
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Sharded{
+		cfg:     cfg,
+		rib:     bgp.NewRIB(),
+		patcher: traceroute.NewPatcher(),
+		mapper:  m,
+		aliases: aliases,
+		Calib:   NewCalibrator(cfg.CalibrationWindows, cfg.CommunityFPQuota),
+	}
+	ids := newIDAlloc()
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, newEngineWith(cfg, m, aliases, geo, rel, s.rib, ids, s.Calib, s.patcher))
+	}
+	return s
+}
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// RIB exposes the shared BGP table view (read-only use).
+func (s *Sharded) RIB() *bgp.RIB { return s.rib }
+
+// shardOf maps a corpus pair to its owning shard.
+func (s *Sharded) shardOf(k traceroute.Key) *Engine {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := uint64(k.Src)*0x9e3779b185ebca87 + uint64(k.Dst)*0xc2b2ae3d27d4eb4f
+	h ^= h >> 33
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// drainLocked replays the buffered observations into every shard, one
+// worker goroutine per shard, and waits for all of them. Shards touch only
+// shard-local state during replay, so the only synchronization needed is
+// the final barrier.
+func (s *Sharded) drainLocked() {
+	if len(s.ops) == 0 {
+		return
+	}
+	ops := s.ops
+	s.ops = nil
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			for i := range ops {
+				if ops[i].trace != nil {
+					e.observePrepared(ops[i].trace)
+				} else {
+					e.observeBGPChange(ops[i].update, ops[i].change)
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// ObserveBGP ingests one BGP update: it is applied to the shared RIB once
+// and the classified change is broadcast to every shard's window state.
+func (s *Sharded) ObserveBGP(u bgp.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shards) == 1 {
+		s.shards[0].ObserveBGP(u)
+		return
+	}
+	if bgp.FilterTooSpecific(u.Prefix) {
+		return
+	}
+	s.ops = append(s.ops, shardOp{update: u, change: s.rib.Apply(u)})
+	if len(s.ops) >= shardFlushThreshold {
+		s.drainLocked()
+	}
+}
+
+// ObservePublicTrace ingests one public traceroute: patching and border
+// mapping run once on the caller's goroutine and the prepared result is
+// broadcast to every shard.
+func (s *Sharded) ObservePublicTrace(t *traceroute.Traceroute) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shards) == 1 {
+		s.shards[0].ObservePublicTrace(t)
+		return
+	}
+	s.ops = append(s.ops, shardOp{trace: prepareTrace(s.patcher, s.mapper, s.aliases, t)})
+	if len(s.ops) >= shardFlushThreshold {
+		s.drainLocked()
+	}
+}
+
+// CloseWindow finishes the window starting at ws on every shard in
+// parallel (each worker first replays any buffered observations, in feed
+// order, then closes its shard) and returns the merged, totally-ordered
+// signal stream.
+func (s *Sharded) CloseWindow(ws int64) []Signal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shards) == 1 {
+		return s.shards[0].CloseWindow(ws)
+	}
+	ops := s.ops
+	s.ops = nil
+	results := make([][]Signal, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			for j := range ops {
+				if ops[j].trace != nil {
+					e.observePrepared(ops[j].trace)
+				} else {
+					e.observeBGPChange(ops[j].update, ops[j].change)
+				}
+			}
+			results[i] = e.CloseWindow(ws)
+		}(i, sh)
+	}
+	wg.Wait()
+	var sigs []Signal
+	for _, r := range results {
+		sigs = append(sigs, r...)
+	}
+	sortSignals(sigs)
+	return sigs
+}
+
+// AddCorpusEntry registers a processed corpus traceroute: fully on the
+// owning shard, as shared-series replicas everywhere else.
+func (s *Sharded) AddCorpusEntry(en *corpus.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	owner := s.shardOf(en.Key)
+	owner.AddCorpusEntry(en)
+	for _, sh := range s.shards {
+		if sh != owner {
+			sh.shadowRegister(en)
+		}
+	}
+}
+
+// Reregister replaces the pair's entry and monitors with a fresh
+// measurement, clearing its active signals.
+func (s *Sharded) Reregister(en *corpus.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	owner := s.shardOf(en.Key)
+	owner.Reregister(en)
+	for _, sh := range s.shards {
+		if sh != owner {
+			sh.shadowRegister(en)
+		}
+	}
+}
+
+// RemovePair unregisters a corpus pair. Shared-series replicas persist on
+// all shards, exactly as the serial engine keeps shared monitors alive
+// after their last watcher leaves.
+func (s *Sharded) RemovePair(k traceroute.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	s.shardOf(k).RemovePair(k)
+}
+
+// EvaluateRefresh scores the pair's potential signals against a new
+// measurement (see Engine.EvaluateRefresh).
+func (s *Sharded) EvaluateRefresh(en *corpus.Entry) (bordermap.ChangeClass, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	return s.shardOf(en.Key).EvaluateRefresh(en)
+}
+
+// Entry returns the registered corpus entry for a pair.
+func (s *Sharded) Entry(k traceroute.Key) (*corpus.Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardOf(k).Entry(k)
+}
+
+// Registrations returns the potential signals covering a corpus pair.
+func (s *Sharded) Registrations(k traceroute.Key) []Registration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardOf(k).Registrations(k)
+}
+
+// Active returns the currently-active (unrevoked) signals for a pair.
+func (s *Sharded) Active(k traceroute.Key) []Signal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardOf(k).Active(k)
+}
+
+// ClearActive resets a pair's signal state.
+func (s *Sharded) ClearActive(k traceroute.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardOf(k).ClearActive(k)
+}
+
+// SignalCounts returns per-technique signal totals across all shards.
+func (s *Sharded) SignalCounts() map[Technique]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Technique]int, int(numTechniques))
+	for _, sh := range s.shards {
+		for t, n := range sh.SignalCounts() {
+			out[t] += n
+		}
+	}
+	return out
+}
+
+// RevocationStats sums §4.3.2 revocation counters across shards.
+func (s *Sharded) RevocationStats() (signals, pairEvents int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		a, b := sh.RevocationStats()
+		signals += a
+		pairEvents += b
+	}
+	return signals, pairEvents
+}
+
+// WindowsClosed reports how many CloseWindow rounds have run.
+func (s *Sharded) WindowsClosed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[0].WindowsClosed()
+}
+
+// MonitorStats reports monitor state across all shards. Per-pair monitors
+// (AS-path, burst, community) are summed over the shards that own them;
+// shared series (subpaths, borders, extras, IXP state) are replicated
+// identically on every shard, so shard 0's view is the deduplicated total.
+func (s *Sharded) MonitorStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	st := s.shards[0].MonitorStats()
+	if len(s.shards) == 1 {
+		return st
+	}
+	st.ASPathMonitors, st.BurstMonitors, st.CommunityTargets = 0, 0, 0
+	for _, sh := range s.shards {
+		ss := sh.MonitorStats()
+		st.ASPathMonitors += ss.ASPathMonitors
+		st.BurstMonitors += ss.BurstMonitors
+		st.CommunityTargets += ss.CommunityTargets
+	}
+	return st
+}
+
+// SetInitialIXPMembership seeds §4.2.3's membership snapshot on every
+// shard.
+func (s *Sharded) SetInitialIXPMembership(members map[int][]bgp.ASN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.SetInitialIXPMembership(members)
+	}
+}
+
+// AllowPrivatePeerSignals enables IXP signals through private peers of the
+// AS (§4.2.3's learned exception) on every shard.
+func (s *Sharded) AllowPrivatePeerSignals(as bgp.ASN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.AllowPrivatePeerSignals(as)
+	}
+}
+
+// RefreshPlan selects up to budget flagged pairs to remeasure (§4.3.1),
+// planning over the union of every shard's active signals.
+func (s *Sharded) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	if len(s.shards) == 1 {
+		return s.shards[0].RefreshPlan(budget, rng)
+	}
+	active := make(map[traceroute.Key][]Signal)
+	regs := make(map[traceroute.Key][]Registration)
+	for _, sh := range s.shards {
+		for k, v := range sh.active {
+			active[k] = v
+		}
+		for k, v := range sh.regs {
+			regs[k] = v
+		}
+	}
+	return refreshPlan(active, regs, s.Calib, budget, rng)
+}

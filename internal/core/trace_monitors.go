@@ -72,9 +72,22 @@ func (e *Engine) AddCorpusEntry(en *corpus.Entry) {
 	e.entries[en.Key] = en
 	e.destToKeys[en.Key.Dst] = append(e.destToKeys[en.Key.Dst], en.Key)
 
-	e.registerBGPMonitors(en)
-	e.registerSubpathMonitors(en)
-	e.registerBorderMonitors(en)
+	e.registerBGPMonitors(en, true)
+	e.registerSubpathMonitors(en, true)
+	e.registerBorderMonitors(en, true)
+}
+
+// shadowRegister replicates the entry's shared monitors (subpaths, border-
+// router series, extra-AS series) without attaching any watcher or
+// registration. A Sharded engine calls it on every shard that does not own
+// the entry, so shared series exist on all shards from the same moment and
+// evolve identically to the serial engine's single instance — a later
+// entry joining the series on any shard finds it as warmed-up as the
+// serial engine would have it.
+func (e *Engine) shadowRegister(en *corpus.Entry) {
+	e.registerBGPMonitors(en, false)
+	e.registerSubpathMonitors(en, false)
+	e.registerBorderMonitors(en, false)
 }
 
 // registerSubpathMonitors creates (or joins) §4.2.1 monitors for each
@@ -82,7 +95,7 @@ func (e *Engine) AddCorpusEntry(en *corpus.Entry) {
 // AS boundaries: interdomain segments give the reliable signals, while
 // intradomain segments churn with traffic engineering (§4.2's first
 // accuracy rule).
-func (e *Engine) registerSubpathMonitors(en *corpus.Entry) {
+func (e *Engine) registerSubpathMonitors(en *corpus.Entry, attach bool) {
 	if e.cfg.disabled(TechTraceSubpath) {
 		return
 	}
@@ -102,9 +115,17 @@ func (e *Engine) registerSubpathMonitors(en *corpus.Entry) {
 		key := subpathKeyOf(ips)
 		mon, ok := e.subpaths[key]
 		if !ok {
-			mon = &subpathMonitor{id: e.nextID(), ips: ips, last: ips[len(ips)-1]}
+			// Monitors shared across entries take their ID by name from
+			// the shared allocator: every shard's replica of the same
+			// subpath reports the same MonitorID, and the allocation
+			// sequence matches the serial engine's (only the first use of
+			// a name allocates).
+			mon = &subpathMonitor{id: e.ids.idFor("sub:" + key), ips: ips, last: ips[len(ips)-1]}
 			e.subpaths[key] = mon
 			e.subByStart[ips[0]] = append(e.subByStart[ips[0]], mon)
+		}
+		if !attach {
+			return
 		}
 		mon.watchers = append(mon.watchers, subpathWatcher{key: en.Key, borders: []int{bi}})
 		e.subByKey[en.Key] = append(e.subByKey[en.Key], mon)
@@ -166,7 +187,7 @@ func subpathKeyOf(ips []uint32) string {
 // registerBorderMonitors creates (or joins) §4.2.2 monitors: one ratio
 // series per (inter-city AS adjacency, border router) the entry uses.
 // Crossings whose endpoints cannot be geolocated are skipped (Appendix A).
-func (e *Engine) registerBorderMonitors(en *corpus.Entry) {
+func (e *Engine) registerBorderMonitors(en *corpus.Entry, attach bool) {
 	if e.geo == nil || e.cfg.disabled(TechTraceBorder) {
 		return
 	}
@@ -182,8 +203,12 @@ func (e *Engine) registerBorderMonitors(en *corpus.Entry) {
 		}
 		rs := grp.routers[router]
 		if rs == nil {
-			rs = &borderRouterSeries{id: e.nextID(), router: router}
+			name := fmt.Sprintf("brs:%d/%d-%d/%d@%d", gk.FromAS, gk.FromC, gk.ToAS, gk.ToC, router)
+			rs = &borderRouterSeries{id: e.ids.idFor(name), router: router}
 			grp.routers[router] = rs
+		}
+		if !attach {
+			continue
 		}
 		rs.watchers = append(rs.watchers, subpathWatcher{key: en.Key, borders: []int{bi}})
 		e.brsByKey[en.Key] = append(e.brsByKey[en.Key], rs)
@@ -210,14 +235,41 @@ func (e *Engine) borderGroupOf(b bordermap.BorderHop, when int64) (borderGroupKe
 	return borderGroupKey{FromAS: b.FromAS, FromC: cm, ToAS: b.ToAS, ToC: cn}, router, true
 }
 
+// preparedTrace is a public traceroute after patching and border mapping:
+// everything the per-shard observation step needs, computed once.
+type preparedTrace struct {
+	time    int64
+	path    []uint32
+	borders []bordermap.BorderHop
+}
+
+// prepareTrace feeds the unresponsive-hop patcher and resolves the
+// patched IP path and border path. It owns all the mutable shared state a
+// public traceroute touches, so a Sharded engine runs it once on the
+// caller's goroutine and broadcasts the result to every shard.
+func prepareTrace(p *traceroute.Patcher, m traceroute.Mapper, aliases bordermap.AliasOracle, t *traceroute.Traceroute) *preparedTrace {
+	p.Observe(t)
+	patched := t.Clone()
+	p.Patch(patched)
+	return &preparedTrace{
+		time:    t.Time,
+		path:    patched.IPPath(),
+		borders: bordermap.BorderPath(patched, m, aliases),
+	}
+}
+
 // ObservePublicTrace ingests one public traceroute, feeding the subpath,
 // border, and IXP techniques plus the unresponsive-hop patcher. Signals it
 // produces (IXP membership changes) are delivered by the next CloseWindow.
 func (e *Engine) ObservePublicTrace(t *traceroute.Traceroute) {
-	e.patcher.Observe(t)
-	patched := t.Clone()
-	e.patcher.Patch(patched)
-	path := patched.IPPath()
+	e.observePrepared(prepareTrace(e.patcher, e.mapper, e.aliases, t))
+}
+
+// observePrepared folds one prepared public traceroute into the shard's
+// monitor state. It touches only shard-local state (plus read-only
+// services), so shards can run it concurrently on the same preparedTrace.
+func (e *Engine) observePrepared(pt *preparedTrace) {
+	path := pt.path
 
 	// §4.2.1: subpath observations.
 	for i, ip := range path {
@@ -245,24 +297,23 @@ func (e *Engine) ObservePublicTrace(t *traceroute.Traceroute) {
 				DebugSubpath(mon.ips, path, match)
 			}
 			if mon.series != nil {
-				mon.series.Observe(t.Time, boolVal(match))
+				mon.series.Observe(pt.time, boolVal(match))
 			} else {
-				mon.buf = append(mon.buf, subObs{t: t.Time, match: match})
-				mon.activate(e.cfg.PublicLadder, t.Time)
+				mon.buf = append(mon.buf, subObs{t: pt.time, match: match})
+				mon.activate(e.cfg.PublicLadder, pt.time)
 			}
 		}
 	}
 
-	// §4.2.2 and §4.2.3 need the border path.
-	borders := bordermap.BorderPath(patched, e.mapper, e.aliases)
+	// §4.2.2 and §4.2.3 consume the border path.
 	if e.geo != nil {
-		for _, b := range borders {
+		for _, b := range pt.borders {
 			// An unresponsive hop between near and far may hide the true
 			// ingress router: the crossing is a wildcard, not evidence.
 			if b.FarIdx != b.NearIdx+1 {
 				continue
 			}
-			gk, router, ok := e.borderGroupOf(b, t.Time)
+			gk, router, ok := e.borderGroupOf(b, pt.time)
 			if !ok {
 				continue
 			}
@@ -272,16 +323,16 @@ func (e *Engine) ObservePublicTrace(t *traceroute.Traceroute) {
 			}
 			for _, rs := range grp.routers {
 				if rs.series != nil {
-					rs.series.Observe(t.Time, boolVal(rs.router == router))
+					rs.series.Observe(pt.time, boolVal(rs.router == router))
 					continue
 				}
-				rs.buf = append(rs.buf, subObs{t: t.Time, match: rs.router == router})
-				rs.activate(e.cfg.PublicLadder, t.Time)
+				rs.buf = append(rs.buf, subObs{t: pt.time, match: rs.router == router})
+				rs.activate(e.cfg.PublicLadder, pt.time)
 			}
 		}
 	}
 
-	e.pendingIXP = append(e.pendingIXP, e.observeIXP(borders, t.Time)...)
+	e.pendingIXP = append(e.pendingIXP, e.observeIXP(pt.borders, pt.time)...)
 }
 
 // matchesSparse reports whether the anchors appear in order within path,
@@ -483,18 +534,13 @@ func (e *Engine) ixpJoinSignals(ixp int, asI bgp.ASN, when int64) []Signal {
 	return sigs
 }
 
-// ixpMonitorID allocates a stable monitor identity per (IXP, member).
+// ixpMonitorID computes a stable monitor identity per (IXP, member). IXP
+// signals are generated during public-trace intake, which shards process
+// concurrently, so the identity is derived rather than allocated: every
+// shard computes the same ID without coordination. Negative values keep
+// the space disjoint from allocator-issued IDs.
 func (e *Engine) ixpMonitorID(ixp int, as bgp.ASN) int {
-	if e.ixpMonIDs == nil {
-		e.ixpMonIDs = make(map[[2]int]int)
-	}
-	k := [2]int{ixp, int(as)}
-	if id, ok := e.ixpMonIDs[k]; ok {
-		return id
-	}
-	id := e.nextID()
-	e.ixpMonIDs[k] = id
-	return id
+	return -(ixp<<32 | int(uint32(as)))
 }
 
 // DebugSubpath, when non-nil, is invoked on every subpath observation
@@ -618,6 +664,7 @@ func (e *Engine) CloseWindow(ws int64) []Signal {
 	e.winUpdates = make(map[vpPrefix]*vpWindowState)
 	e.winComms = e.winComms[:0]
 	e.window = ws + e.cfg.WindowSec
+	e.windowsClosed++
 
 	sortSignals(sigs)
 	return sigs

@@ -64,12 +64,19 @@ func (c *Corpus) Add(t *traceroute.Traceroute) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Put(e)
+	return e, nil
+}
+
+// Put stores an already-processed entry, replacing any previous entry for
+// its pair. Use it when the same *Entry must also be registered elsewhere
+// (e.g. with the signal engine), so both sides share one pointer.
+func (c *Corpus) Put(e *Entry) {
 	if _, existed := c.entries[e.Key]; !existed {
 		c.keys = append(c.keys, e.Key)
 		c.sorted = false
 	}
 	c.entries[e.Key] = e
-	return e, nil
 }
 
 // Get returns the entry for a pair.

@@ -117,7 +117,7 @@ func RunDiamonds(sc Scale) *DiamondsResult {
 			if len(diff) > 0 {
 				changedPairs[k] = diff
 			}
-			lab.Corp.Add(fresh.Trace)
+			lab.Corp.Put(fresh)
 			lab.Engine.Reregister(fresh)
 		}
 		for _, ps := range pending {

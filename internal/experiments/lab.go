@@ -35,6 +35,11 @@ type Scale struct {
 	PlatCfg platform.Config
 	// Disabled switches off engine techniques (ablation runs).
 	Disabled []core.Technique
+	// Shards sets engine parallelism. Experiments default to 1 (the exact
+	// serial path) so published numbers stay deterministic regardless of
+	// the host's core count; the engine's signal stream is identical at
+	// any shard count either way.
+	Shards int
 }
 
 // QuickScale is small enough for unit tests and CI.
@@ -72,7 +77,7 @@ type Lab struct {
 	Scale  Scale
 	Sim    *netsim.Sim
 	Plat   *platform.Platform
-	Engine *core.Engine
+	Engine *core.Sharded
 	Corp   *corpus.Corpus
 
 	Aliases bordermap.AliasOracle
@@ -154,7 +159,11 @@ func NewLab(sc Scale) *Lab {
 	cfg := core.DefaultConfig()
 	cfg.WindowSec = sc.WindowSec
 	cfg.Disabled = sc.Disabled
-	eng := core.NewEngine(cfg, sim.Mapper(), aliases, labGeo, rel)
+	cfg.Shards = sc.Shards
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	eng := core.NewSharded(cfg, sim.Mapper(), aliases, labGeo, rel)
 
 	// Prime the RIB with a full dump (the paper starts BGP collection two
 	// days before corpus initialization) and stream subsequent updates.

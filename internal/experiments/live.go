@@ -92,7 +92,7 @@ func RunLive(sc Scale, dailyBudget int) *LiveResult {
 			if cls != bordermap.Unchanged {
 				dayStats.sigC++
 			}
-			lab.Corp.Add(fresh.Trace)
+			lab.Corp.Put(fresh)
 			lab.Engine.Reregister(fresh)
 			flagged[k] = false
 		}
@@ -119,7 +119,7 @@ func RunLive(sc Scale, dailyBudget int) *LiveResult {
 					dayStats.rndFlagged++
 				}
 			}
-			lab.Corp.Add(fresh.Trace)
+			lab.Corp.Put(fresh)
 			lab.Engine.Reregister(fresh)
 			flagged[k] = false
 		}

@@ -153,7 +153,7 @@ func RunRetrospective(sc Scale) *RetroResult {
 			// detectors persist, so this only re-anchors monitors whose
 			// scope actually moved (leaving them anchored on a stale IP
 			// path would make them scream forever).
-			lab.Corp.Add(fresh.Trace)
+			lab.Corp.Put(fresh)
 			lab.Engine.Reregister(fresh)
 		}
 		// Fig 1: daily comparison against the initial corpus.

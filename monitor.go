@@ -3,6 +3,7 @@ package rrr
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"rrr/internal/bgp"
 	"rrr/internal/core"
@@ -15,6 +16,9 @@ import (
 // (border-router signals need Geo, IXP signals need Rel).
 type Options struct {
 	// Config tunes windows and calibration; DefaultConfig() if zero.
+	// Config.Shards sets engine parallelism (0 means GOMAXPROCS, 1 runs
+	// the exact serial path) and is honored even when the rest of the
+	// config is zero.
 	Config Config
 	// Mapper resolves hop addresses to origin ASes and IXP LANs
 	// (longest-prefix matching over collector RIBs plus IXP prefix lists;
@@ -33,14 +37,21 @@ type Options struct {
 }
 
 // Monitor maintains a corpus of traceroutes and flags stale entries from
-// passive feeds. It is not safe for concurrent use; drive it from one
-// goroutine (feeds are naturally serialized by time).
+// passive feeds. It is safe for concurrent use: writes (feed ingestion,
+// window closes, tracking changes) serialize behind a mutex while
+// read-only queries share a read lock. The feeds themselves must still
+// arrive in time order, so interleaving multiple feed-writing goroutines
+// only makes sense if their items are externally time-merged (as Pipeline
+// does).
 type Monitor struct {
-	engine *core.Engine
-	corp   *corpus.Corpus
-	window int64
-	cur    int64
-	opened bool
+	mu       sync.RWMutex
+	engine   *core.Sharded
+	corp     *corpus.Corpus
+	window   int64
+	cur      int64
+	opened   bool
+	firstObs int64
+	haveObs  bool
 }
 
 // NewMonitor builds a Monitor.
@@ -50,9 +61,11 @@ func NewMonitor(opts Options) (*Monitor, error) {
 	}
 	cfg := opts.Config
 	if cfg.WindowSec == 0 {
+		shards := cfg.Shards
 		cfg = DefaultConfig()
+		cfg.Shards = shards
 	}
-	eng := core.NewEngine(cfg, opts.Mapper, opts.Aliases, opts.Geo, opts.Rel)
+	eng := core.NewSharded(cfg, opts.Mapper, opts.Aliases, opts.Geo, opts.Rel)
 	if opts.IXPMembers != nil {
 		eng.SetInitialIXPMembership(opts.IXPMembers)
 	}
@@ -66,17 +79,37 @@ func NewMonitor(opts Options) (*Monitor, error) {
 // WindowSec returns the signal-generation window duration.
 func (m *Monitor) WindowSec() int64 { return m.window }
 
+// noteObs tracks the earliest observation time so Advance can snap its
+// first window to the start of the feed instead of iterating from 0.
+func (m *Monitor) noteObs(t int64) {
+	if !m.haveObs || t < m.firstObs {
+		m.firstObs, m.haveObs = t, true
+	}
+}
+
 // ObserveBGP ingests one BGP update. Feed a full table dump first to prime
 // the monitor's RIB view, then stream updates in time order.
-func (m *Monitor) ObserveBGP(u Update) { m.engine.ObserveBGP(u) }
+func (m *Monitor) ObserveBGP(u Update) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noteObs(u.Time)
+	m.engine.ObserveBGP(u)
+}
 
 // ObservePublic ingests one public traceroute.
-func (m *Monitor) ObservePublic(t *Traceroute) { m.engine.ObservePublicTrace(t) }
+func (m *Monitor) ObservePublic(t *Traceroute) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noteObs(t.Time)
+	m.engine.ObservePublicTrace(t)
+}
 
 // Track adds a traceroute to the monitored corpus, replacing any previous
 // entry for its (src, dst) pair. Traceroutes whose AS mapping contains a
 // loop are rejected (Appendix A).
 func (m *Monitor) Track(t *Traceroute) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	en, err := m.corp.Add(t)
 	if err != nil {
 		return err
@@ -91,32 +124,53 @@ func (m *Monitor) Track(t *Traceroute) error {
 
 // Untrack removes a pair from the corpus.
 func (m *Monitor) Untrack(k Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.corp.Remove(k)
 	m.engine.RemovePair(k)
 }
 
 // Tracked returns the monitored pairs.
-func (m *Monitor) Tracked() []Key { return m.corp.Keys() }
+func (m *Monitor) Tracked() []Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.corp.Keys()
+}
 
 // Entry returns the stored corpus entry for a pair.
-func (m *Monitor) Entry(k Key) (*Entry, bool) { return m.corp.Get(k) }
+func (m *Monitor) Entry(k Key) (*Entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.corp.Get(k)
+}
 
 // CloseWindow finishes the signal-generation window beginning at ws
 // (seconds), returning the window's staleness prediction signals. Call once
 // per WindowSec with monotonically increasing ws, after feeding that
 // window's updates and traceroutes.
 func (m *Monitor) CloseWindow(ws int64) []Signal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cur, m.opened = ws+m.window, true
 	return m.engine.CloseWindow(ws)
 }
 
 // Advance runs CloseWindow for every window up to (excluding) t, returning
-// all signals produced. Convenient when feeds arrive in batches.
+// all signals produced. Convenient when feeds arrive in batches. The first
+// call aligns the first window to the floor of the earliest observed (or
+// advanced-to) time, so realistic epoch timestamps don't iterate empty
+// windows from 0.
 func (m *Monitor) Advance(t int64) []Signal {
-	var out []Signal
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if !m.opened {
-		m.cur, m.opened = 0, true
+		start := t
+		if m.haveObs && m.firstObs < start {
+			start = m.firstObs
+		}
+		m.cur, m.opened = (start/m.window)*m.window, true
 	}
+	var out []Signal
 	for ws := m.cur; ws+m.window <= t; ws += m.window {
 		out = append(out, m.engine.CloseWindow(ws)...)
 		m.cur = ws + m.window
@@ -126,16 +180,26 @@ func (m *Monitor) Advance(t int64) []Signal {
 
 // Stale reports whether the pair currently has active (unrevoked)
 // staleness prediction signals.
-func (m *Monitor) Stale(k Key) bool { return len(m.engine.Active(k)) > 0 }
+func (m *Monitor) Stale(k Key) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.engine.Active(k)) > 0
+}
 
 // ActiveSignals returns the pair's active signals.
-func (m *Monitor) ActiveSignals(k Key) []Signal { return m.engine.Active(k) }
+func (m *Monitor) ActiveSignals(k Key) []Signal {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.engine.Active(k)
+}
 
 // StaleKeys returns all currently-flagged pairs.
 func (m *Monitor) StaleKeys() []Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []Key
 	for _, k := range m.corp.Keys() {
-		if m.Stale(k) {
+		if len(m.engine.Active(k)) > 0 {
 			out = append(out, k)
 		}
 	}
@@ -145,11 +209,17 @@ func (m *Monitor) StaleKeys() []Key {
 // Potential returns the potential signals (monitors) covering a pair; an
 // empty result means the monitor lacks visibility into that pair ("unknown"
 // in §6.2's classification).
-func (m *Monitor) Potential(k Key) []Registration { return m.engine.Registrations(k) }
+func (m *Monitor) Potential(k Key) []Registration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.engine.Registrations(k)
+}
 
 // PlanRefresh selects up to budget flagged pairs to remeasure, using
 // §4.3.1's calibrated prioritization with Table 1 bootstrap ordering.
 func (m *Monitor) PlanRefresh(budget int, rng *rand.Rand) []Key {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.engine.RefreshPlan(budget, rng)
 }
 
@@ -158,29 +228,39 @@ func (m *Monitor) PlanRefresh(budget int, rng *rand.Rand) []Key {
 // re-registers monitors. It returns the change classification relative to
 // the previous entry.
 func (m *Monitor) RecordRefresh(t *Traceroute) (ChangeClass, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	en, err := m.corp.Process(t)
 	if err != nil {
 		return Unchanged, err
 	}
 	cls, _ := m.engine.EvaluateRefresh(en)
-	if _, err := m.corp.Add(t); err != nil {
-		return cls, err
-	}
+	m.corp.Put(en)
 	m.engine.Reregister(en)
 	return cls, nil
 }
 
 // SignalCounts returns cumulative per-technique signal totals.
-func (m *Monitor) SignalCounts() map[Technique]int { return m.engine.SignalCounts() }
+func (m *Monitor) SignalCounts() map[Technique]int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.engine.SignalCounts()
+}
 
 // PrunedCommunities reports how many communities calibration has learned
 // to ignore (Appendix B).
-func (m *Monitor) PrunedCommunities() int { return m.engine.Calib.PrunedCommunityCount() }
+func (m *Monitor) PrunedCommunities() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.engine.Calib.PrunedCommunityCount()
+}
 
 // RevocationStats reports how many signals §4.3.2 revocation discarded
 // because all monitored quantities reverted to their baselines (the
 // traceroutes became fresh again without remeasurement).
 func (m *Monitor) RevocationStats() (signals, pairEvents int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.engine.RevocationStats()
 }
 
@@ -197,6 +277,8 @@ func NewRIBFromUpdates(updates []Update) *bgp.RIB {
 // Classify compares a fresh measurement against the stored entry without
 // refreshing (read-only check).
 func (m *Monitor) Classify(t *Traceroute) (ChangeClass, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.corp.Classify(t)
 }
 

@@ -2,6 +2,7 @@ package rrr
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"rrr/internal/bgp"
@@ -290,4 +291,136 @@ func TestRevocationStats(t *testing.T) {
 	if sigs == 0 || pairs == 0 {
 		t.Fatalf("revocation stats = %d, %d; want > 0", sigs, pairs)
 	}
+}
+
+// countingMapper counts ASOf calls, exposing how many times a traceroute
+// was processed (border mapping resolves every hop).
+type countingMapper struct {
+	facadeMapper
+	calls *int
+}
+
+func (m countingMapper) ASOf(ip uint32) (bgp.ASN, bool) {
+	*m.calls++
+	return m.facadeMapper.ASOf(ip)
+}
+
+// TestRecordRefreshSingleProcess is the regression test for RecordRefresh
+// processing the traceroute twice and re-registering a different *Entry
+// than the one it stored, leaving engine and corpus on different pointers.
+func TestRecordRefreshSingleProcess(t *testing.T) {
+	calls := 0
+	aliases := bordermap.OracleFunc(func(v uint32) (int, bool) { return int(v), true })
+	m, err := NewMonitor(Options{Mapper: countingMapper{calls: &calls}, Aliases: aliases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	calls = 0
+	fresh := trace(t, 900, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if _, err := m.RecordRefresh(fresh); err != nil {
+		t.Fatal(err)
+	}
+	refreshCalls := calls
+	calls = 0
+	if err := m.Track(trace(t, 1800, "1.0.0.1", "4.0.0.9",
+		"1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")); err != nil {
+		t.Fatal(err)
+	}
+	if refreshCalls > calls {
+		t.Errorf("RecordRefresh resolved %d hops, Track only %d: trace processed more than once", refreshCalls, calls)
+	}
+
+	// Corpus and engine must share one entry, holding the fresh trace.
+	fresh2 := trace(t, 2700, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if _, err := m.RecordRefresh(fresh2); err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := m.corp.Get(fresh2.Key())
+	if !ok || stored.Trace != fresh2 {
+		t.Fatal("corpus does not hold the fresh measurement")
+	}
+	reg, ok := m.engine.Entry(fresh2.Key())
+	if !ok || reg != stored {
+		t.Fatal("engine and corpus hold different entry pointers")
+	}
+}
+
+// TestAdvanceEpochTimestamps is the regression test for Advance's first
+// call iterating empty windows from time 0: with realistic epoch
+// timestamps it used to close ~1.8 million windows before reaching the
+// feed.
+func TestAdvanceEpochTimestamps(t *testing.T) {
+	const start = int64(1_600_000_000)
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, start, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, start, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(start + 3*900)
+	if n := m.engine.WindowsClosed(); n > 4 {
+		t.Fatalf("Advance from epoch closed %d windows; want the feed's ~3", n)
+	}
+	// And the snapped grid still detects changes.
+	m.Advance(start + 45*900)
+	m.ObserveBGP(announceUpd(t, start+45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	if sigs := m.Advance(start + 46*900); len(sigs) == 0 {
+		t.Fatal("suffix change missed on epoch-aligned grid")
+	}
+
+	// First call with no prior observations snaps to the target time.
+	m2 := newTestMonitor(t)
+	m2.Advance(start)
+	if n := m2.engine.WindowsClosed(); n != 0 {
+		t.Fatalf("empty advance closed %d windows", n)
+	}
+}
+
+// TestMonitorConcurrentAccess drives feeds and queries from separate
+// goroutines; run with -race it checks the Monitor's locking.
+func TestMonitorConcurrentAccess(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				m.Stale(tr.Key())
+				m.ActiveSignals(tr.Key())
+				m.SignalCounts()
+				m.Tracked()
+				m.StaleKeys()
+				m.PrunedCommunities()
+			}
+		}()
+	}
+	// One feeder: feeds stay time-ordered.
+	for w := int64(0); w < 50; w++ {
+		path := []ASN{5, 2, 3, 4}
+		if w%7 == 0 {
+			path = []ASN{5, 2, 9, 4}
+		}
+		m.ObserveBGP(announceUpd(t, w*900+5, "5.0.0.9", 5, "4.0.0.0/8", path))
+		m.Advance((w + 1) * 900)
+	}
+	close(done)
+	wg.Wait()
 }

@@ -39,6 +39,21 @@ func (s *TraceSliceSource) Read() (*Traceroute, error) {
 	return t, nil
 }
 
+// pipelineChanCap bounds each feed's decode-ahead buffer, so decoding
+// overlaps monitor work without letting a fast feed run away from a slow
+// consumer (backpressure: a full channel blocks the reader goroutine).
+const pipelineChanCap = 1024
+
+type updateItem struct {
+	u   Update
+	err error
+}
+
+type traceItem struct {
+	t   *Traceroute
+	err error
+}
+
 // Pipeline drives a Monitor from a BGP feed and a public-traceroute feed:
 // the two time-ordered streams are interleaved by timestamp, windows close
 // automatically at each WindowSec boundary, and every staleness prediction
@@ -46,15 +61,68 @@ func (s *TraceSliceSource) Read() (*Traceroute, error) {
 // Pipeline returns when both feeds are exhausted (closing the final
 // window), when ctx is cancelled, or on the first feed error.
 //
-// This is the integration shape of a production deployment: one goroutine
-// owns the Monitor while collector dumps and traceroute archives stream in.
+// Each source is decoded on its own goroutine feeding a bounded channel,
+// so MRT parsing and archive I/O overlap signal processing while
+// backpressure keeps memory bounded. Items are still consumed in merged
+// time order, so the Monitor sees exactly the stream a serial loop would
+// produce. On early return (error or cancellation) the reader goroutines
+// are told to stop; one blocked inside a source Read call exits after that
+// call returns.
+//
+// This is the integration shape of a production deployment: collector
+// dumps and traceroute archives stream in while the monitor flags stale
+// corpus entries.
 func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces TraceSource, sink func(Signal)) error {
+	stop := make(chan struct{})
+	defer close(stop)
+
+	var uch chan updateItem
+	if updates != nil {
+		uch = make(chan updateItem, pipelineChanCap)
+		go func() {
+			defer close(uch)
+			for {
+				u, err := updates.Read()
+				if err == io.EOF {
+					return
+				}
+				select {
+				case uch <- updateItem{u: u, err: err}:
+				case <-stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	var tch chan traceItem
+	if traces != nil {
+		tch = make(chan traceItem, pipelineChanCap)
+		go func() {
+			defer close(tch)
+			for {
+				t, err := traces.Read()
+				if err == io.EOF {
+					return
+				}
+				select {
+				case tch <- traceItem{t: t, err: err}:
+				case <-stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+
 	var (
 		pendingU Update
 		haveU    bool
-		uDone    = updates == nil
 		pendingT *Traceroute
-		tDone    = traces == nil
 		window   = m.WindowSec()
 		curIdx   int64
 		started  bool
@@ -81,33 +149,33 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 	}
 
 	fillU := func() error {
-		if uDone || haveU {
+		if uch == nil || haveU {
 			return nil
 		}
-		u, err := updates.Read()
-		if err == io.EOF {
-			uDone = true
+		it, ok := <-uch
+		if !ok {
+			uch = nil
 			return nil
 		}
-		if err != nil {
-			return fmt.Errorf("rrr: bgp feed: %w", err)
+		if it.err != nil {
+			return fmt.Errorf("rrr: bgp feed: %w", it.err)
 		}
-		pendingU, haveU = u, true
+		pendingU, haveU = it.u, true
 		return nil
 	}
 	fillT := func() error {
-		if tDone || pendingT != nil {
+		if tch == nil || pendingT != nil {
 			return nil
 		}
-		t, err := traces.Read()
-		if err == io.EOF {
-			tDone = true
+		it, ok := <-tch
+		if !ok {
+			tch = nil
 			return nil
 		}
-		if err != nil {
-			return fmt.Errorf("rrr: traceroute feed: %w", err)
+		if it.err != nil {
+			return fmt.Errorf("rrr: traceroute feed: %w", it.err)
 		}
-		pendingT = t
+		pendingT = it.t
 		return nil
 	}
 

@@ -42,7 +42,8 @@ type (
 	Signal = core.Signal
 	// Technique identifies which of the six techniques fired.
 	Technique = core.Technique
-	// Config tunes windows, calibration, and revocation.
+	// Config tunes windows, calibration, revocation, and engine
+	// parallelism (Shards; 0 = GOMAXPROCS, 1 = serial).
 	Config = core.Config
 	// Registration is a potential signal covering part of a traceroute.
 	Registration = core.Registration
