@@ -17,14 +17,18 @@ import (
 	"time"
 
 	"rrr/internal/experiments"
+	"rrr/internal/server"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	days := flag.Int("days", 0, "override experiment duration in days")
 	seed := flag.Int64("seed", 0, "override simulation seed (0 keeps the scale default)")
-	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench)")
+	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench)")
 	shards := flag.String("shards", "1,2,4", "shard counts for -only enginebench (comma-separated)")
+	clients := flag.Int("clients", 8, "concurrent clients for -only servebench")
+	requests := flag.Int("requests", 2000, "total batch requests for -only servebench")
+	batch := flag.Int("batch", 64, "keys per batch for -only servebench")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -123,6 +127,26 @@ func main() {
 	if run("fig16") {
 		printFig16(experiments.RunIPlane(sc))
 	}
+	if len(want) != 0 && want["servebench"] {
+		r, err := server.RunServeBench(sc, *clients, *requests, *batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+		printServeBench(r)
+	}
+}
+
+func printServeBench(r *server.ServeBenchResult) {
+	fmt.Println("\n=== Serve bench: POST /v1/stale under concurrent feed ingestion ===")
+	fmt.Printf("corpus=%d pairs, %d clients x %d reqs, batch=%d, windows ingested=%d\n",
+		r.CorpusSize, r.Clients, r.Requests/r.Clients, r.BatchSize, r.IngestedWindows)
+	fmt.Printf("%-10s %-12s %-12s %-10s %-10s %-10s %-8s\n",
+		"elapsed", "req/s", "keys/s", "p50", "p90", "p99", "stale")
+	fmt.Printf("%-10s %-12.0f %-12.0f %-10s %-10s %-10s %-8d\n",
+		r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.KeysPerSec,
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.StaleVerdicts)
 }
 
 func printEngineBench(rs []experiments.EngineBenchResult) {

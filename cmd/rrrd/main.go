@@ -1,0 +1,190 @@
+// Command rrrd is the staleness query-serving daemon: it runs the full
+// monitoring pipeline over live (simulated) BGP and traceroute feeds in
+// the background while serving staleness queries, live signal streams, and
+// refresh planning over HTTP.
+//
+//	rrrd -addr :8080                      # quick-scale feed, serve forever
+//	rrrd -pace 100ms -v                   # real-time-ish pacing, log signals
+//	rrrd -snapshot /tmp/rrr.snap          # snapshot on shutdown (and on demand)
+//	rrrd -snapshot /tmp/rrr.snap -restore # restart from the snapshot
+//
+// Try it:
+//
+//	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/keys?stale=1
+//	curl localhost:8080/v1/stale/10.3.0.1-10.9.0.9
+//	curl -N localhost:8080/v1/signals        # SSE stream
+//	curl -d '{"budget":20}' localhost:8080/v1/refresh/plan
+//
+// Graceful shutdown (SIGINT/SIGTERM): cancel the pipeline (which drains
+// buffered observations and closes the open window), write the snapshot if
+// -snapshot is set, then stop the HTTP listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rrr"
+	"rrr/internal/experiments"
+	"rrr/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	scale := flag.String("scale", "quick", "feed scale: quick or paper")
+	days := flag.Int("days", 0, "virtual days of feed before EOF (0 keeps the scale default)")
+	seed := flag.Int64("seed", 0, "simulation seed (0 keeps the scale default)")
+	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+	pace := flag.Duration("pace", 0, "wall-clock delay per 15-min virtual window (0 = full speed)")
+	snapshot := flag.String("snapshot", "", "snapshot file path (written on shutdown and POST /v1/snapshot)")
+	restore := flag.Bool("restore", false, "restore corpus and signals from -snapshot at startup")
+	ring := flag.Int("ring", server.DefaultRingSize, "per-SSE-subscriber signal buffer")
+	verbose := flag.Bool("v", false, "log every signal")
+	flag.Parse()
+
+	if err := run(*addr, *scale, *days, *seed, *shards, *pace, *snapshot, *restore, *ring, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scale string, days int, seed int64, shards int, pace time.Duration,
+	snapshot string, restore bool, ring int, verbose bool) error {
+	var sc experiments.Scale
+	switch scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	if days > 0 {
+		sc.Days = days
+	}
+	if seed != 0 {
+		sc.SimCfg.Seed = seed
+	}
+	sc.Shards = shards
+
+	log.Printf("rrrd: building %s-scale environment (seed %d)", scale, sc.SimCfg.Seed)
+	env := experiments.NewDaemonEnv(sc, pace)
+
+	cfg := rrr.DefaultConfig()
+	cfg.WindowSec = sc.WindowSec
+	cfg.Shards = shards
+	mon, err := rrr.NewMonitor(rrr.Options{
+		Config:     cfg,
+		Mapper:     env.Mapper,
+		Aliases:    env.Aliases,
+		Geo:        env.Geo,
+		Rel:        env.Rel,
+		IXPMembers: env.IXPMembers,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Prime the RIB view before streaming (table dump first).
+	for _, u := range env.Dump {
+		mon.ObserveBGP(u)
+	}
+
+	if restore {
+		if snapshot == "" {
+			return errors.New("-restore needs -snapshot")
+		}
+		info, err := server.RestoreSnapshot(snapshot, mon)
+		if err != nil {
+			return err
+		}
+		log.Printf("rrrd: restored %d corpus entries, %d active signals from %s",
+			info.Entries, info.Signals, snapshot)
+	} else {
+		tracked, skipped := 0, 0
+		for _, tr := range env.Corpus {
+			if err := mon.Track(tr); err != nil {
+				skipped++ // AS-loop traces are discarded (Appendix A)
+				continue
+			}
+			tracked++
+		}
+		log.Printf("rrrd: tracking %d corpus pairs (%d traces discarded)", tracked, skipped)
+	}
+
+	srv := server.New(mon, server.Config{SnapshotPath: snapshot, RingSize: ring})
+
+	// One writer: the pipeline goroutine. Its sink tees into the SSE hub
+	// (never blocks) and, optionally, the log.
+	sink := srv.Publish
+	if verbose {
+		sink = rrr.Tee(srv.Publish, func(s rrr.Signal) { log.Printf("signal: %s", s) })
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	pipeDone := make(chan error, 1)
+	go func() {
+		pipeDone <- rrr.Pipeline(ctx, mon, env.Updates, env.Traces, sink)
+	}()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() {
+		log.Printf("rrrd: serving on %s", addr)
+		httpDone <- httpSrv.ListenAndServe()
+	}()
+
+	// Run until a signal arrives or the HTTP listener fails. A finished
+	// feed (pipeDone with nil) keeps the daemon serving: consumers can
+	// still query the final state.
+	var pipeErr error
+	pipeRunning := true
+	for {
+		select {
+		case <-ctx.Done():
+			log.Printf("rrrd: shutting down")
+			if pipeRunning {
+				pipeErr = <-pipeDone // pipeline drains + closes final window
+				pipeRunning = false
+			}
+			if pipeErr != nil && !errors.Is(pipeErr, context.Canceled) {
+				log.Printf("rrrd: pipeline: %v", pipeErr)
+			}
+			if snapshot != "" {
+				info, err := server.WriteSnapshot(snapshot, mon)
+				if err != nil {
+					log.Printf("rrrd: snapshot: %v", err)
+				} else {
+					log.Printf("rrrd: snapshot: %d entries, %d signals, %d bytes -> %s",
+						info.Entries, info.Signals, info.Bytes, snapshot)
+				}
+			}
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return httpSrv.Shutdown(shutCtx)
+		case err := <-pipeDone:
+			pipeRunning = false
+			pipeErr = err
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("rrrd: pipeline: %v", err)
+			} else {
+				log.Printf("rrrd: feed exhausted after %d windows; still serving", mon.WindowsClosed())
+			}
+		case err := <-httpDone:
+			if pipeRunning {
+				stop()
+				<-pipeDone
+			}
+			return err
+		}
+	}
+}

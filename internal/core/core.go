@@ -400,6 +400,19 @@ func (e *Engine) Active(k traceroute.Key) []Signal { return e.active[k] }
 // it).
 func (e *Engine) ClearActive(k traceroute.Key) { delete(e.active, k) }
 
+// RestoreActive re-injects previously-generated signals into the active
+// set, used when a Monitor is rebuilt from a snapshot: the signals keep
+// flagging their pairs as stale across a restart without replaying the
+// feed history that produced them. Restored signals carry MonitorIDs from
+// the previous process generation, which is fine for staleness queries and
+// refresh planning; §4.3.2 revocation still applies to them through the
+// pair-level reverted check.
+func (e *Engine) RestoreActive(sigs []Signal) {
+	for _, s := range sigs {
+		e.active[s.Key] = append(e.active[s.Key], s)
+	}
+}
+
 // SignalCounts returns per-technique signal totals.
 func (e *Engine) SignalCounts() map[Technique]int {
 	out := make(map[Technique]int, int(numTechniques))

@@ -279,6 +279,21 @@ func (s *Sharded) ClearActive(k traceroute.Key) {
 	s.shardOf(k).ClearActive(k)
 }
 
+// RestoreActive re-injects snapshot-restored signals, routing each to the
+// shard owning its pair (see Engine.RestoreActive).
+func (s *Sharded) RestoreActive(sigs []Signal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	perShard := make(map[*Engine][]Signal)
+	for _, sig := range sigs {
+		sh := s.shardOf(sig.Key)
+		perShard[sh] = append(perShard[sh], sig)
+	}
+	for sh, batch := range perShard {
+		sh.RestoreActive(batch)
+	}
+}
+
 // SignalCounts returns per-technique signal totals across all shards.
 func (s *Sharded) SignalCounts() map[Technique]int {
 	s.mu.Lock()

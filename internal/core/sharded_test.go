@@ -341,6 +341,43 @@ func TestShardedQueryFanout(t *testing.T) {
 	}
 }
 
+// TestRestoreActive checks snapshot restore: injected signals land on the
+// right shard and are served (and clearable) per key.
+func TestRestoreActive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	s := NewSharded(cfg, testMapper{}, identityAliases, mapGeo{}, mapRel{})
+
+	var sigs []Signal
+	var keys []traceroute.Key
+	for i := uint32(1); i <= 9; i++ {
+		k := traceroute.Key{Src: 1<<24 | i, Dst: 4<<24 | i}
+		keys = append(keys, k)
+		sigs = append(sigs,
+			Signal{Technique: TechBGPASPath, Key: k, WindowStart: 900, MonitorID: int(i)},
+			Signal{Technique: TechBGPBurst, Key: k, WindowStart: 1800, MonitorID: int(i)})
+	}
+	s.RestoreActive(sigs)
+	for _, k := range keys {
+		act := s.Active(k)
+		if len(act) != 2 {
+			t.Fatalf("Active(%v) = %d signals, want 2", k, len(act))
+		}
+		for _, sg := range act {
+			if sg.Key != k {
+				t.Fatalf("signal for %v routed to %v's shard", sg.Key, k)
+			}
+		}
+	}
+	s.ClearActive(keys[0])
+	if len(s.Active(keys[0])) != 0 {
+		t.Fatal("ClearActive left restored signals")
+	}
+	if len(s.Active(keys[1])) != 2 {
+		t.Fatal("ClearActive bled into another key")
+	}
+}
+
 // TestCommunityFPQuotaDefaultUnified is the regression test for the config
 // mismatch where DefaultConfig set CommunityFPQuota=1 but a zero-valued
 // Config fell back to a different quota inside NewEngine.

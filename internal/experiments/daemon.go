@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rrr/internal/bgp"
+	"rrr/internal/bordermap"
+	"rrr/internal/core"
+	"rrr/internal/geo"
+	"rrr/internal/netsim"
+	"rrr/internal/platform"
+	"rrr/internal/traceroute"
+)
+
+// DaemonEnv bundles everything a serving daemon (cmd/rrrd) needs to run a
+// Monitor over live simulated feeds: the mapping services, an initial
+// table dump, the initial corpus measurements, and two incremental feed
+// sources that generate BGP updates and public traceroutes window by
+// window as they are consumed. In a real deployment these would be a RIS /
+// RouteViews stream and the RIPE Atlas firehose; the simulator stands in
+// with the same interfaces.
+type DaemonEnv struct {
+	Sim  *netsim.Sim
+	Plat *platform.Platform
+
+	// Services for rrr.Options.
+	Mapper     traceroute.Mapper
+	Aliases    bordermap.AliasOracle
+	Geo        core.Geolocator
+	Rel        core.RelOracle
+	IXPMembers map[int][]bgp.ASN
+
+	// Dump primes the monitor's RIB view before streaming (the paper
+	// starts BGP collection before corpus initialization).
+	Dump []bgp.Update
+	// Corpus holds the initial corpus traceroutes (anchoring round,
+	// unresponsive hops patched); feed them to Monitor.Track.
+	Corpus []*traceroute.Traceroute
+
+	// Updates and Traces are the live feeds for rrr.Pipeline.
+	Updates *SimUpdateFeed
+	Traces  *SimTraceFeed
+}
+
+// simGeolocator builds the IPMap-like geolocation database over the
+// simulator's router addresses (80%+ city-level accuracy profile) shared
+// by the Lab and the daemon environment.
+func simGeolocator(sim *netsim.Sim, seed int64) *LabGeo {
+	var infraIPs []uint32
+	for i := 1; i < len(sim.T.Routers); i++ {
+		infraIPs = append(infraIPs, sim.T.Routers[i].Loopback)
+		infraIPs = append(infraIPs, sim.T.Routers[i].Interfaces...)
+	}
+	db := geo.BuildDB(sim, infraIPs, geo.DBProfile{
+		Name: "ipmap", Coverage: 0.7, ExactFrac: 0.85, NearFrac: 0.1,
+	}, seed)
+	return &LabGeo{L: geo.NewLocator(sim, db)}
+}
+
+// NewDaemonEnv assembles a daemon environment at the given scale. The feed
+// runs for sc.Days of virtual time and then reports EOF on both sources;
+// pace, when positive, is the wall-clock delay per virtual window, turning
+// the feed into a real-time-like stream (0 runs as fast as the consumer
+// pulls). The same scale and seed always produce the same dump, corpus,
+// and feed, so a restarted daemon can resume against identical services.
+func NewDaemonEnv(sc Scale, pace time.Duration) *DaemonEnv {
+	sim := netsim.New(sc.SimCfg)
+	plat := platform.New(sim, sc.PlatCfg)
+
+	aliases := bordermap.OracleFunc(func(ip uint32) (int, bool) {
+		r, ok := sim.T.RouterForIP(ip)
+		return int(r), ok
+	})
+
+	env := &DaemonEnv{
+		Sim:     sim,
+		Plat:    plat,
+		Mapper:  sim.Mapper(),
+		Aliases: aliases,
+		Geo:     simGeolocator(sim, sc.SimCfg.Seed+100),
+		Rel:     LabRel{T: sim.T},
+	}
+
+	// Table dump first, then hook the live capture: Step-generated
+	// updates flow into the feed queue, not the dump.
+	env.Dump = sim.InitialUpdates(0)
+
+	// PeeringDB-style membership snapshot with gaps.
+	snap := sim.MembershipSnapshot(0.3)
+	env.IXPMembers = make(map[int][]bgp.ASN, len(snap))
+	for id, list := range snap {
+		env.IXPMembers[int(id)] = list
+	}
+
+	// Initial corpus: an anchoring round from the corpus probes, with two
+	// observation passes feeding the unresponsive-hop patcher (Appendix
+	// A). AS-loop traces are left in; Monitor.Track rejects them.
+	public, corpusProbes := plat.Split(sc.SimCfg.Seed + 13)
+	patcher := traceroute.NewPatcher()
+	raw := plat.AnchoringRound(corpusProbes, plat.Anchors(), sim.Now())
+	for _, tr := range raw {
+		patcher.Observe(tr)
+	}
+	for _, tr := range raw {
+		patcher.Patch(tr)
+	}
+	env.Corpus = raw
+
+	f := &daemonFeed{
+		sim:             sim,
+		public:          public,
+		rng:             rand.New(rand.NewSource(sc.SimCfg.Seed + 21)),
+		windowSec:       sc.WindowSec,
+		publicPerWindow: sc.PublicPerWindow,
+		end:             int64(sc.Days) * 86400,
+		pace:            pace,
+	}
+	sim.OnUpdate(func(u bgp.Update) { f.updates = append(f.updates, u) })
+	env.Updates = &SimUpdateFeed{f: f}
+	env.Traces = &SimTraceFeed{f: f}
+	return env
+}
+
+// daemonFeed generates the simulator's feed lazily: whenever either reader
+// runs dry it advances the simulation by one window, capturing the BGP
+// updates that Step emits and issuing that window's public traceroutes.
+// Both sources stay individually time-ordered, as rrr.Pipeline requires.
+type daemonFeed struct {
+	mu              sync.Mutex
+	sim             *netsim.Sim
+	public          []*platform.Probe
+	rng             *rand.Rand
+	windowSec       int64
+	publicPerWindow int
+	next            int64 // next window start
+	end             int64 // feed end (exclusive); <= 0 runs forever
+	pace            time.Duration
+	done            bool
+
+	updates []bgp.Update
+	uHead   int
+	traces  []*traceroute.Traceroute
+	tHead   int
+}
+
+// step advances one window (mu held). The OnUpdate hook registered at
+// construction appends Step's updates to f.updates.
+func (f *daemonFeed) step() {
+	if f.end > 0 && f.next >= f.end {
+		f.done = true
+		return
+	}
+	if f.pace > 0 {
+		time.Sleep(f.pace)
+	}
+	ws := f.next
+	f.sim.Step(f.windowSec)
+	if f.publicPerWindow > 0 && len(f.public) > 0 {
+		asns := f.sim.StubASes()
+		when := ws + f.windowSec/2
+		for i := 0; i < f.publicPerWindow; i++ {
+			probe := f.public[f.rng.Intn(len(f.public))]
+			if !probe.Active {
+				continue
+			}
+			dstAS := asns[f.rng.Intn(len(asns))]
+			dst := f.sim.T.HostIP(dstAS, 1+f.rng.Intn(20))
+			f.traces = append(f.traces, f.sim.Traceroute(probe.ID, probe.IP, dst, when))
+		}
+	}
+	f.next = ws + f.windowSec
+}
+
+func (f *daemonFeed) readUpdate() (bgp.Update, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.uHead >= len(f.updates) {
+		if f.done {
+			return bgp.Update{}, io.EOF
+		}
+		f.step()
+	}
+	u := f.updates[f.uHead]
+	f.uHead++
+	if f.uHead == len(f.updates) {
+		f.updates, f.uHead = f.updates[:0], 0
+	}
+	return u, nil
+}
+
+func (f *daemonFeed) readTrace() (*traceroute.Traceroute, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.tHead >= len(f.traces) {
+		if f.done {
+			return nil, io.EOF
+		}
+		f.step()
+	}
+	t := f.traces[f.tHead]
+	f.traces[f.tHead] = nil
+	f.tHead++
+	if f.tHead == len(f.traces) {
+		f.traces, f.tHead = f.traces[:0], 0
+	}
+	return t, nil
+}
+
+// SimUpdateFeed implements bgp.UpdateSource over the shared window
+// generator.
+type SimUpdateFeed struct{ f *daemonFeed }
+
+// Read returns the next BGP update, advancing the simulation as needed;
+// io.EOF after the configured number of days.
+func (s *SimUpdateFeed) Read() (bgp.Update, error) { return s.f.readUpdate() }
+
+// SimTraceFeed implements the Pipeline's TraceSource over the shared
+// window generator.
+type SimTraceFeed struct{ f *daemonFeed }
+
+// Read returns the next public traceroute, advancing the simulation as
+// needed; io.EOF after the configured number of days.
+func (s *SimTraceFeed) Read() (*traceroute.Traceroute, error) { return s.f.readTrace() }

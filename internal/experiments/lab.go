@@ -145,15 +145,7 @@ func NewLab(sc Scale) *Lab {
 
 	// IPMap-like DB over all router addresses, with the accuracy profile
 	// the paper reports for IPMap (80%+ city-level).
-	var infraIPs []uint32
-	for i := 1; i < len(sim.T.Routers); i++ {
-		infraIPs = append(infraIPs, sim.T.Routers[i].Loopback)
-		infraIPs = append(infraIPs, sim.T.Routers[i].Interfaces...)
-	}
-	db := geo.BuildDB(sim, infraIPs, geo.DBProfile{
-		Name: "ipmap", Coverage: 0.7, ExactFrac: 0.85, NearFrac: 0.1,
-	}, sc.SimCfg.Seed+100)
-	labGeo := &LabGeo{L: geo.NewLocator(sim, db)}
+	labGeo := simGeolocator(sim, sc.SimCfg.Seed+100)
 	rel := LabRel{T: sim.T}
 
 	cfg := core.DefaultConfig()

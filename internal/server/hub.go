@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rrr"
+)
+
+// DefaultRingSize is the per-subscriber signal buffer used when Config
+// leaves RingSize zero.
+const DefaultRingSize = 256
+
+// Hub fans the pipeline's signal stream out to SSE subscribers. Publish
+// never blocks: each subscriber owns a bounded ring (a buffered channel
+// with drop-oldest overflow), so a slow or stalled client loses its oldest
+// queued signals — counted, and reported on its stream — while feed
+// ingestion proceeds at full speed. This is the one-writer/many-readers
+// boundary of the serving layer: the pipeline goroutine publishes, each
+// subscriber drains on its own HTTP handler goroutine.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[*Subscriber]struct{}
+	ring int
+}
+
+// NewHub builds a hub with the given per-subscriber ring capacity (<= 0
+// uses DefaultRingSize).
+func NewHub(ring int) *Hub {
+	if ring <= 0 {
+		ring = DefaultRingSize
+	}
+	return &Hub{subs: make(map[*Subscriber]struct{}), ring: ring}
+}
+
+// Subscriber is one attached signal consumer.
+type Subscriber struct {
+	ch      chan rrr.Signal
+	dropped atomic.Uint64
+}
+
+// C is the subscriber's signal channel; drain it promptly or lose the
+// oldest buffered signals.
+func (s *Subscriber) C() <-chan rrr.Signal { return s.ch }
+
+// Dropped reports how many signals overflow has discarded so far.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// offer enqueues without ever blocking the publisher: on a full ring it
+// evicts the oldest buffered signal and retries. The retry count is
+// bounded; under pathological contention the new signal itself is counted
+// dropped instead of spinning.
+func (s *Subscriber) offer(sig rrr.Signal) {
+	for i := 0; i < 4; i++ {
+		select {
+		case s.ch <- sig:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+	s.dropped.Add(1)
+}
+
+// Subscribe attaches a new subscriber.
+func (h *Hub) Subscribe() *Subscriber {
+	sub := &Subscriber{ch: make(chan rrr.Signal, h.ring)}
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe detaches a subscriber; its channel is left open (the hub
+// simply stops publishing to it), so a racing Publish never sends on a
+// closed channel.
+func (h *Hub) Unsubscribe(sub *Subscriber) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+}
+
+// Subscribers reports the number of attached consumers.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Publish delivers a signal to every subscriber without blocking. Safe for
+// use as a Pipeline sink.
+func (h *Hub) Publish(sig rrr.Signal) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		sub.offer(sig)
+	}
+}

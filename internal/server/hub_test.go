@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"rrr"
+)
+
+func sig(w int64) rrr.Signal {
+	return rrr.Signal{Technique: rrr.TechBGPASPath, WindowStart: w}
+}
+
+// TestHubSlowSubscriberDrops is the backpressure guarantee: a subscriber
+// that never drains loses its oldest signals while Publish returns without
+// blocking — feed ingestion must never stall on a stuck SSE client.
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	h := NewHub(4)
+	slow := h.Subscribe()
+
+	const n = 100
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			h.Publish(sig(int64(i)))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+
+	if d := slow.Dropped(); d < n-4-4 {
+		// At most ring (4) buffered plus the bounded-retry slack can
+		// survive; everything else must be counted dropped.
+		t.Fatalf("Dropped() = %d; want >= %d", d, n-8)
+	}
+	if buffered := len(slow.ch); buffered > 4 {
+		t.Fatalf("ring holds %d > cap 4", buffered)
+	}
+	// What survives is the newest tail, not the oldest head.
+	got := <-slow.C()
+	if got.WindowStart < 4 {
+		t.Fatalf("survivor window %d; drop-oldest should keep the tail", got.WindowStart)
+	}
+}
+
+func TestHubFanoutAndUnsubscribe(t *testing.T) {
+	h := NewHub(8)
+	a, b := h.Subscribe(), h.Subscribe()
+	if h.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d", h.Subscribers())
+	}
+	h.Publish(sig(1))
+	for _, sub := range []*Subscriber{a, b} {
+		select {
+		case s := <-sub.C():
+			if s.WindowStart != 1 {
+				t.Fatalf("got window %d", s.WindowStart)
+			}
+		default:
+			t.Fatal("subscriber missed fan-out")
+		}
+	}
+	h.Unsubscribe(b)
+	if h.Subscribers() != 1 {
+		t.Fatalf("Subscribers after unsubscribe = %d", h.Subscribers())
+	}
+	h.Publish(sig(2))
+	if len(b.ch) != 0 {
+		t.Fatal("unsubscribed channel still receives")
+	}
+	select {
+	case s := <-a.C():
+		if s.WindowStart != 2 {
+			t.Fatalf("got window %d", s.WindowStart)
+		}
+	default:
+		t.Fatal("remaining subscriber missed publish")
+	}
+	// Double unsubscribe and publish-after-unsubscribe must not panic.
+	h.Unsubscribe(b)
+	h.Publish(sig(3))
+}

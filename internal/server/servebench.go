@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"rrr"
+	"rrr/internal/experiments"
+)
+
+// ServeBenchResult reports batch-staleness-endpoint throughput measured
+// while a Pipeline concurrently ingests the simulated feed — the daemon's
+// real operating point, not an idle-monitor microbenchmark.
+type ServeBenchResult struct {
+	CorpusSize int
+	Clients    int
+	Requests   int
+	BatchSize  int
+	Elapsed    time.Duration
+	ReqPerSec  float64
+	KeysPerSec float64
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	// StaleVerdicts counts stale=true answers across all requests
+	// (sanity: the pipeline is generating signals while we query).
+	StaleVerdicts int
+	// IngestedWindows is how many signal windows closed during the load
+	// run.
+	IngestedWindows int
+}
+
+// RunServeBench starts an in-process daemon (Monitor + Pipeline over a
+// DaemonEnv at the given scale) and load-tests POST /v1/stale with
+// `clients` concurrent clients issuing `requests` total batches of
+// `batchSize` random corpus keys.
+func RunServeBench(sc experiments.Scale, clients, requests, batchSize int) (*ServeBenchResult, error) {
+	env := experiments.NewDaemonEnv(sc, 0)
+	cfg := rrr.DefaultConfig()
+	cfg.WindowSec = sc.WindowSec
+	cfg.Shards = sc.Shards
+	mon, err := rrr.NewMonitor(rrr.Options{
+		Config:     cfg,
+		Mapper:     env.Mapper,
+		Aliases:    env.Aliases,
+		Geo:        env.Geo,
+		Rel:        env.Rel,
+		IXPMembers: env.IXPMembers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range env.Dump {
+		mon.ObserveBGP(u)
+	}
+	for _, tr := range env.Corpus {
+		// AS-loop traces are rejected by design; skip them like the lab
+		// does.
+		_ = mon.Track(tr)
+	}
+	keys := mon.Tracked()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("server: servebench corpus is empty")
+	}
+
+	srv := New(mon, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pipeDone := make(chan error, 1)
+	go func() {
+		pipeDone <- rrr.Pipeline(ctx, mon, env.Updates, env.Traces, srv.Publish)
+	}()
+
+	windowsBefore := mon.WindowsClosed()
+	perClient := requests / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	total := perClient * clients
+
+	type clientStats struct {
+		lat   []time.Duration
+		stale int
+		err   error
+	}
+	stats := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			httpc := ts.Client()
+			st := &stats[c]
+			st.lat = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				batch := make([]string, batchSize)
+				for j := range batch {
+					batch[j] = FormatKey(keys[rng.Intn(len(keys))])
+				}
+				body, _ := json.Marshal(map[string]any{"keys": batch})
+				t0 := time.Now()
+				resp, err := httpc.Post(ts.URL+"/v1/stale", "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.err = err
+					return
+				}
+				var out struct {
+					Stale int `json:"stale"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					st.err = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					st.err = fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				st.lat = append(st.lat, time.Since(t0))
+				st.stale += out.Stale
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	<-pipeDone
+
+	res := &ServeBenchResult{
+		CorpusSize:      len(keys),
+		Clients:         clients,
+		Requests:        total,
+		BatchSize:       batchSize,
+		Elapsed:         elapsed,
+		IngestedWindows: mon.WindowsClosed() - windowsBefore,
+	}
+	var lat []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, fmt.Errorf("server: servebench client %d: %w", i, stats[i].err)
+		}
+		lat = append(lat, stats[i].lat...)
+		res.StaleVerdicts += stats[i].stale
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	res.P50, res.P90, res.P99 = pct(0.50), pct(0.90), pct(0.99)
+	if elapsed > 0 {
+		res.ReqPerSec = float64(total) / elapsed.Seconds()
+		res.KeysPerSec = res.ReqPerSec * float64(batchSize)
+	}
+	return res, nil
+}

@@ -1,0 +1,444 @@
+// Package server is rrr's query-serving layer: an HTTP/JSON API over a
+// live Monitor, answering "is this traceroute stale?" at scale while a
+// Pipeline ingests BGP and traceroute feeds in the background.
+//
+// Concurrency model: one writer (the pipeline goroutine feeding the
+// Monitor) and many readers (HTTP handler goroutines querying it) share
+// the Monitor's RWMutex; the signal stream reaches SSE subscribers through
+// a Hub whose bounded per-subscriber rings guarantee slow clients drop
+// data rather than block ingestion.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/stale/{key}      staleness verdict for one pair ("1.2.3.4-5.6.7.8")
+//	POST /v1/stale            batch verdicts: {"keys": ["src-dst", ...]}
+//	GET  /v1/keys?stale=1     tracked (or only flagged) pairs, sorted
+//	GET  /v1/stats            corpus size, window clock, signal/revocation totals
+//	GET  /v1/signals          Server-Sent-Events stream of live signals
+//	POST /v1/refresh/plan     {"budget": n} -> §4.3.1 refresh plan
+//	POST /v1/refresh/record   fresh measurement -> change class + recalibration
+//	POST /v1/snapshot         write the restart snapshot to the configured path
+//	GET  /healthz             liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"rrr"
+)
+
+// Config tunes the server.
+type Config struct {
+	// SnapshotPath is where POST /v1/snapshot (and the daemon's shutdown
+	// hook) write the restart snapshot; empty disables the endpoint.
+	SnapshotPath string
+	// RingSize is the per-SSE-subscriber signal buffer (0 =
+	// DefaultRingSize).
+	RingSize int
+	// Heartbeat is the SSE keepalive interval (0 = 15s).
+	Heartbeat time.Duration
+	// MaxBatch caps the keys accepted by one POST /v1/stale (0 = 10000).
+	MaxBatch int
+}
+
+// Server serves staleness queries from a Monitor.
+type Server struct {
+	mon *rrr.Monitor
+	hub *Hub
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New wires the handlers. The Monitor may (and in a daemon, will) be fed
+// concurrently by a Pipeline; every handler uses only the Monitor's
+// public, internally-locked API.
+func New(mon *rrr.Monitor, cfg Config) *Server {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 10000
+	}
+	s := &Server{mon: mon, hub: NewHub(cfg.RingSize), cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/stale/{key}", s.handleStaleOne)
+	s.mux.HandleFunc("POST /v1/stale", s.handleStaleBatch)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/signals", s.handleSignals)
+	s.mux.HandleFunc("POST /v1/refresh/plan", s.handleRefreshPlan)
+	s.mux.HandleFunc("POST /v1/refresh/record", s.handleRefreshRecord)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Publish is the Pipeline sink: it fans the signal out to SSE subscribers
+// without blocking ingestion. Compose with other sinks via rrr.Tee.
+func (s *Server) Publish(sig rrr.Signal) { s.hub.Publish(sig) }
+
+// Hub exposes the subscriber hub (for tests and stats).
+func (s *Server) Hub() *Hub { return s.hub }
+
+// --- key and signal JSON forms ---
+
+// FormatKey renders a pair as "src-dst" (the API's canonical key form).
+func FormatKey(k rrr.Key) string {
+	return rrr.FormatIP(k.Src) + "-" + rrr.FormatIP(k.Dst)
+}
+
+// ParseKey accepts "src-dst" or the Go String() form "src->dst".
+func ParseKey(s string) (rrr.Key, error) {
+	sep := "-"
+	if strings.Contains(s, "->") {
+		sep = "->"
+	}
+	a, b, ok := strings.Cut(s, sep)
+	if !ok {
+		return rrr.Key{}, fmt.Errorf("key %q: want src-dst", s)
+	}
+	src, err := rrr.ParseIP(a)
+	if err != nil {
+		return rrr.Key{}, fmt.Errorf("key %q: %v", s, err)
+	}
+	dst, err := rrr.ParseIP(b)
+	if err != nil {
+		return rrr.Key{}, fmt.Errorf("key %q: %v", s, err)
+	}
+	return rrr.Key{Src: src, Dst: dst}, nil
+}
+
+// signalJSON is the wire form of a staleness prediction signal.
+type signalJSON struct {
+	Technique   string  `json:"technique"`
+	Key         string  `json:"key"`
+	MonitorID   int     `json:"monitorId"`
+	WindowStart int64   `json:"windowStart"`
+	Borders     []int   `json:"borders,omitempty"`
+	Detail      string  `json:"detail,omitempty"`
+	Score       float64 `json:"score,omitempty"`
+	VPCount     int     `json:"vpCount,omitempty"`
+}
+
+func toSignalJSON(sig rrr.Signal) signalJSON {
+	return signalJSON{
+		Technique:   sig.Technique.String(),
+		Key:         FormatKey(sig.Key),
+		MonitorID:   sig.MonitorID,
+		WindowStart: sig.WindowStart,
+		Borders:     sig.Borders,
+		Detail:      sig.Detail,
+		Score:       sig.Score,
+		VPCount:     sig.VPCount,
+	}
+}
+
+// Verdict is the staleness answer for one pair, including §6.2's
+// known/unknown visibility split: a tracked pair with no potential signals
+// is "unknown" — the monitor has no vantage over it, so silence is not
+// evidence of freshness.
+type Verdict struct {
+	Key               string       `json:"key"`
+	Tracked           bool         `json:"tracked"`
+	Stale             bool         `json:"stale"`
+	Visibility        string       `json:"visibility"` // known | unknown | untracked
+	MeasuredAt        int64        `json:"measuredAt,omitempty"`
+	PotentialMonitors int          `json:"potentialMonitors"`
+	Signals           []signalJSON `json:"signals,omitempty"`
+}
+
+func (s *Server) verdict(k rrr.Key) Verdict {
+	v := Verdict{Key: FormatKey(k)}
+	en, ok := s.mon.Entry(k)
+	if !ok {
+		v.Visibility = "untracked"
+		return v
+	}
+	v.Tracked = true
+	v.MeasuredAt = en.MeasuredAt
+	pot := s.mon.Potential(k)
+	v.PotentialMonitors = len(pot)
+	if len(pot) == 0 {
+		v.Visibility = "unknown"
+	} else {
+		v.Visibility = "known"
+	}
+	for _, sig := range s.mon.ActiveSignals(k) {
+		v.Signals = append(v.Signals, toSignalJSON(sig))
+	}
+	v.Stale = len(v.Signals) > 0
+	return v
+}
+
+// --- handlers ---
+
+func (s *Server) handleStaleOne(w http.ResponseWriter, r *http.Request) {
+	k, err := ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.verdict(k))
+}
+
+func (s *Server) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Keys) == 0 {
+		writeErr(w, http.StatusBadRequest, "no keys")
+		return
+	}
+	if len(req.Keys) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d keys exceeds batch limit %d", len(req.Keys), s.cfg.MaxBatch))
+		return
+	}
+	verdicts := make([]Verdict, 0, len(req.Keys))
+	stale := 0
+	for _, ks := range req.Keys {
+		k, err := ParseKey(ks)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		v := s.verdict(k)
+		if v.Stale {
+			stale++
+		}
+		verdicts = append(verdicts, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"verdicts": verdicts,
+		"stale":    stale,
+	})
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	staleOnly := r.URL.Query().Get("stale") == "1"
+	var keys []rrr.Key
+	if staleOnly {
+		keys = s.mon.StaleKeys()
+	} else {
+		keys = s.mon.Tracked()
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = FormatKey(k)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": out, "count": len(out)})
+}
+
+// Stats is GET /v1/stats: deliberately free of wall-clock fields so a
+// snapshot→restart→restore cycle reproduces it byte for byte.
+type Stats struct {
+	CorpusSize        int            `json:"corpusSize"`
+	StaleKeys         int            `json:"staleKeys"`
+	WindowSec         int64          `json:"windowSec"`
+	WindowsClosed     int            `json:"windowsClosed"`
+	Signals           map[string]int `json:"signals"`
+	TotalSignals      int            `json:"totalSignals"`
+	RevokedSignals    int            `json:"revokedSignals"`
+	RevokedPairEvents int            `json:"revokedPairEvents"`
+	PrunedCommunities int            `json:"prunedCommunities"`
+	Subscribers       int            `json:"subscribers"`
+}
+
+func (s *Server) stats() Stats {
+	st := Stats{
+		CorpusSize:    len(s.mon.Tracked()),
+		StaleKeys:     len(s.mon.StaleKeys()),
+		WindowSec:     s.mon.WindowSec(),
+		WindowsClosed: s.mon.WindowsClosed(),
+		Signals:       make(map[string]int),
+		Subscribers:   s.hub.Subscribers(),
+	}
+	for t, n := range s.mon.SignalCounts() {
+		st.Signals[t.String()] = n
+		st.TotalSignals += n
+	}
+	st.RevokedSignals, st.RevokedPairEvents = s.mon.RevocationStats()
+	st.PrunedCommunities = s.mon.PrunedCommunities()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := s.hub.Subscribe()
+	defer s.hub.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": rrrd signal stream\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(s.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	var reported uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case sig := <-sub.C():
+			if d := sub.Dropped(); d > reported {
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+				reported = d
+			}
+			data, err := json.Marshal(toSignalJSON(sig))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: signal\ndata: %s\n\n", data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Budget int `json:"budget"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Budget <= 0 {
+		writeErr(w, http.StatusBadRequest, "budget must be positive")
+		return
+	}
+	// nil rng: the Monitor falls back to its deterministic seeded source,
+	// keeping the endpoint reproducible and race-free across handlers.
+	plan := s.mon.PlanRefresh(req.Budget, nil)
+	keys := make([]string, len(plan))
+	for i, k := range plan {
+		keys[i] = FormatKey(k)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "planned": len(keys)})
+}
+
+// traceJSON is the wire form of a traceroute measurement for
+// POST /v1/refresh/record.
+type traceJSON struct {
+	MsmID   int64     `json:"msmId,omitempty"`
+	ProbeID int       `json:"probeId,omitempty"`
+	Time    int64     `json:"time"`
+	Src     string    `json:"src"`
+	Dst     string    `json:"dst"`
+	Reached bool      `json:"reached,omitempty"`
+	Hops    []hopJSON `json:"hops"`
+}
+
+type hopJSON struct {
+	// IP is the hop address; "*" or "" marks an unresponsive hop.
+	IP  string  `json:"ip"`
+	RTT float64 `json:"rtt,omitempty"`
+	TTL int     `json:"ttl,omitempty"`
+}
+
+func (t traceJSON) toTraceroute() (*rrr.Traceroute, error) {
+	src, err := rrr.ParseIP(t.Src)
+	if err != nil {
+		return nil, fmt.Errorf("src: %v", err)
+	}
+	dst, err := rrr.ParseIP(t.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("dst: %v", err)
+	}
+	tr := &rrr.Traceroute{
+		MsmID: t.MsmID, ProbeID: t.ProbeID, Time: t.Time,
+		Src: src, Dst: dst, Reached: t.Reached,
+	}
+	for i, h := range t.Hops {
+		hop := rrr.Hop{RTT: h.RTT, TTL: h.TTL}
+		if hop.TTL == 0 {
+			hop.TTL = i + 1
+		}
+		if h.IP != "" && h.IP != "*" {
+			ip, err := rrr.ParseIP(h.IP)
+			if err != nil {
+				return nil, fmt.Errorf("hop %d: %v", i, err)
+			}
+			hop.IP = ip
+		}
+		tr.Hops = append(tr.Hops, hop)
+	}
+	return tr, nil
+}
+
+func (s *Server) handleRefreshRecord(w http.ResponseWriter, r *http.Request) {
+	var req traceJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	tr, err := req.toTraceroute()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cls, err := s.mon.RecordRefresh(tr)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":         FormatKey(tr.Key()),
+		"changeClass": cls.String(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		writeErr(w, http.StatusConflict, "no snapshot path configured (start with -snapshot)")
+		return
+	}
+	n, err := WriteSnapshot(s.cfg.SnapshotPath, s.mon)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":    s.cfg.SnapshotPath,
+		"entries": n.Entries,
+		"signals": n.Signals,
+		"bytes":   n.Bytes,
+	})
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rrr"
+)
+
+// snapshotMagic and snapshotVersion identify the on-disk snapshot
+// envelope. Bump the version when MonitorSnapshot changes incompatibly;
+// LoadSnapshot refuses files it does not understand rather than restoring
+// garbage.
+const (
+	snapshotMagic   = "rrrd-snapshot"
+	snapshotVersion = 1
+)
+
+// snapshotFile is the versioned on-disk envelope. JSON keeps the file
+// debuggable with standard tools (jq) and diff-able across restarts; the
+// corpus dominates the size and compresses well if the operator cares.
+type snapshotFile struct {
+	Magic   string               `json:"magic"`
+	Version int                  `json:"version"`
+	Monitor *rrr.MonitorSnapshot `json:"monitor"`
+}
+
+// SnapshotInfo summarizes a written snapshot.
+type SnapshotInfo struct {
+	Entries int
+	Signals int
+	Bytes   int
+}
+
+// WriteSnapshot captures the monitor's restartable state and atomically
+// writes it to path (temp file + rename, so a crash mid-write never
+// clobbers the previous good snapshot).
+func WriteSnapshot(path string, mon *rrr.Monitor) (SnapshotInfo, error) {
+	snap := mon.Snapshot()
+	data, err := json.Marshal(snapshotFile{
+		Magic:   snapshotMagic,
+		Version: snapshotVersion,
+		Monitor: snap,
+	})
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("server: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("server: write snapshot: %w", err)
+	}
+	return SnapshotInfo{Entries: len(snap.Traces), Signals: len(snap.Active), Bytes: len(data)}, nil
+}
+
+// LoadSnapshot reads and validates a snapshot file.
+func LoadSnapshot(path string) (*rrr.MonitorSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: read snapshot: %w", err)
+	}
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("server: decode snapshot %s: %w", path, err)
+	}
+	if f.Magic != snapshotMagic {
+		return nil, fmt.Errorf("server: %s is not an rrrd snapshot", path)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("server: snapshot %s has version %d; this build reads %d",
+			path, f.Version, snapshotVersion)
+	}
+	if f.Monitor == nil {
+		return nil, fmt.Errorf("server: snapshot %s has no monitor state", path)
+	}
+	return f.Monitor, nil
+}
+
+// RestoreSnapshot loads path and restores mon from it, returning the
+// restored entry/signal counts.
+func RestoreSnapshot(path string, mon *rrr.Monitor) (SnapshotInfo, error) {
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := mon.Restore(snap); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Entries: len(snap.Traces), Signals: len(snap.Active)}, nil
+}

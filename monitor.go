@@ -52,6 +52,15 @@ type Monitor struct {
 	opened   bool
 	firstObs int64
 	haveObs  bool
+
+	// Baselines carried over from a restored snapshot, so cumulative
+	// counters (signal totals, closed windows, revocations, pruned
+	// communities) survive process restarts.
+	baseCounts   map[Technique]int
+	baseWindows  int
+	baseRevSigs  int
+	baseRevPairs int
+	basePruned   int
 }
 
 // NewMonitor builds a Monitor.
@@ -110,6 +119,10 @@ func (m *Monitor) ObservePublic(t *Traceroute) {
 func (m *Monitor) Track(t *Traceroute) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.trackLocked(t)
+}
+
+func (m *Monitor) trackLocked(t *Traceroute) error {
 	en, err := m.corp.Add(t)
 	if err != nil {
 		return err
@@ -130,7 +143,8 @@ func (m *Monitor) Untrack(k Key) {
 	m.engine.RemovePair(k)
 }
 
-// Tracked returns the monitored pairs.
+// Tracked returns the monitored pairs in sorted (Src, Dst) order, so API
+// responses and tests are deterministic across runs.
 func (m *Monitor) Tracked() []Key {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -193,7 +207,8 @@ func (m *Monitor) ActiveSignals(k Key) []Signal {
 	return m.engine.Active(k)
 }
 
-// StaleKeys returns all currently-flagged pairs.
+// StaleKeys returns all currently-flagged pairs in sorted (Src, Dst)
+// order (the iteration follows the corpus's sorted key list).
 func (m *Monitor) StaleKeys() []Key {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -215,9 +230,18 @@ func (m *Monitor) Potential(k Key) []Registration {
 	return m.engine.Registrations(k)
 }
 
+// planRefreshFallbackSeed seeds the deterministic source PlanRefresh uses
+// when the caller passes a nil rng.
+const planRefreshFallbackSeed = 1
+
 // PlanRefresh selects up to budget flagged pairs to remeasure, using
-// §4.3.1's calibrated prioritization with Table 1 bootstrap ordering.
+// §4.3.1's calibrated prioritization with Table 1 bootstrap ordering. A
+// nil rng falls back to a deterministic seeded source (a fresh one per
+// call, so concurrent callers never share unsynchronized rand state).
 func (m *Monitor) PlanRefresh(budget int, rng *rand.Rand) []Key {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(planRefreshFallbackSeed))
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.engine.RefreshPlan(budget, rng)
@@ -240,11 +264,28 @@ func (m *Monitor) RecordRefresh(t *Traceroute) (ChangeClass, error) {
 	return cls, nil
 }
 
-// SignalCounts returns cumulative per-technique signal totals.
+// SignalCounts returns cumulative per-technique signal totals, including
+// any baseline restored from a snapshot.
 func (m *Monitor) SignalCounts() map[Technique]int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.engine.SignalCounts()
+	return m.signalCountsLocked()
+}
+
+func (m *Monitor) signalCountsLocked() map[Technique]int {
+	out := m.engine.SignalCounts()
+	for t, n := range m.baseCounts {
+		out[t] += n
+	}
+	return out
+}
+
+// WindowsClosed reports how many signal-generation windows the monitor has
+// finished, including windows counted in a restored snapshot.
+func (m *Monitor) WindowsClosed() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.baseWindows + m.engine.WindowsClosed()
 }
 
 // PrunedCommunities reports how many communities calibration has learned
@@ -252,7 +293,7 @@ func (m *Monitor) SignalCounts() map[Technique]int {
 func (m *Monitor) PrunedCommunities() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.engine.Calib.PrunedCommunityCount()
+	return m.basePruned + m.engine.Calib.PrunedCommunityCount()
 }
 
 // RevocationStats reports how many signals §4.3.2 revocation discarded
@@ -261,7 +302,8 @@ func (m *Monitor) PrunedCommunities() int {
 func (m *Monitor) RevocationStats() (signals, pairEvents int) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.engine.RevocationStats()
+	signals, pairEvents = m.engine.RevocationStats()
+	return m.baseRevSigs + signals, m.baseRevPairs + pairEvents
 }
 
 // NewRIBFromUpdates is a convenience that builds a primed RIB-backed
@@ -280,6 +322,98 @@ func (m *Monitor) Classify(t *Traceroute) (ChangeClass, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.corp.Classify(t)
+}
+
+// MonitorSnapshot captures the state a Monitor needs to resume serving
+// staleness queries after a restart without replaying feed history: the
+// corpus measurements, the active (unrevoked) signals, the window clock,
+// and the cumulative counters. It deliberately excludes derived detector
+// state (RIB view, series baselines, calibration): those rebuild from the
+// live feeds, while the snapshot keeps queries answerable in the meantime.
+// All fields are exported and JSON/gob-serializable; versioning of the
+// on-disk envelope is the caller's concern (see internal/server).
+type MonitorSnapshot struct {
+	// WindowSec is the signal-generation window of the snapshotting
+	// monitor; Restore refuses a snapshot taken on a different grid.
+	WindowSec int64
+	// Cur/Opened/FirstObs/HaveObs restore the Advance clock.
+	Cur      int64
+	Opened   bool
+	FirstObs int64
+	HaveObs  bool
+	// Traces are the corpus entries' raw traceroutes in sorted key order;
+	// Restore re-processes them through the monitor's own services.
+	Traces []*Traceroute
+	// Active are the active signals across all pairs, in sorted key order.
+	Active []Signal
+	// Cumulative counters (baselines included, so snapshots chain across
+	// restarts).
+	SignalCounts      map[Technique]int
+	WindowsClosed     int
+	RevokedSignals    int
+	RevokedPairEvents int
+	PrunedCommunities int
+}
+
+// Snapshot captures the monitor's restartable state. It takes the write
+// lock (the corpus key index sorts lazily) but does not disturb feed or
+// window state; it can run while a Pipeline is ingesting.
+func (m *Monitor) Snapshot() *MonitorSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &MonitorSnapshot{
+		WindowSec:     m.window,
+		Cur:           m.cur,
+		Opened:        m.opened,
+		FirstObs:      m.firstObs,
+		HaveObs:       m.haveObs,
+		SignalCounts:  m.signalCountsLocked(),
+		WindowsClosed: m.baseWindows + m.engine.WindowsClosed(),
+	}
+	for _, k := range m.corp.Keys() {
+		en, ok := m.corp.Get(k)
+		if !ok {
+			continue
+		}
+		s.Traces = append(s.Traces, en.Trace)
+		s.Active = append(s.Active, m.engine.Active(k)...)
+	}
+	revSigs, revPairs := m.engine.RevocationStats()
+	s.RevokedSignals = m.baseRevSigs + revSigs
+	s.RevokedPairEvents = m.baseRevPairs + revPairs
+	s.PrunedCommunities = m.basePruned + m.engine.Calib.PrunedCommunityCount()
+	return s
+}
+
+// Restore rebuilds a freshly-constructed Monitor from a snapshot: every
+// corpus traceroute is re-tracked (re-registering potential signals),
+// active signals are re-injected so staleness verdicts survive the
+// restart, the window clock resumes, and cumulative counters continue from
+// their snapshot values. The monitor must use the same services and
+// WindowSec as the one that snapshotted; restore onto a monitor that has
+// already tracked pairs or counted signals is not supported.
+func (m *Monitor) Restore(s *MonitorSnapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s.WindowSec != m.window {
+		return fmt.Errorf("rrr: snapshot window %ds does not match monitor window %ds", s.WindowSec, m.window)
+	}
+	for _, tr := range s.Traces {
+		if err := m.trackLocked(tr); err != nil {
+			return fmt.Errorf("rrr: restore %s: %w", tr.Key(), err)
+		}
+	}
+	m.engine.RestoreActive(s.Active)
+	m.cur, m.opened = s.Cur, s.Opened
+	m.firstObs, m.haveObs = s.FirstObs, s.HaveObs
+	m.baseCounts = make(map[Technique]int, len(s.SignalCounts))
+	for t, n := range s.SignalCounts {
+		m.baseCounts[t] = n
+	}
+	m.baseWindows = s.WindowsClosed
+	m.baseRevSigs, m.baseRevPairs = s.RevokedSignals, s.RevokedPairEvents
+	m.basePruned = s.PrunedCommunities
+	return nil
 }
 
 // Compile-time checks that facade aliases stay wired.

@@ -382,6 +382,148 @@ func TestAdvanceEpochTimestamps(t *testing.T) {
 	}
 }
 
+// TestPlanRefreshNilRNG: a nil *rand.Rand must not panic and must pick a
+// fresh deterministic source per call, so concurrent handlers can share
+// the endpoint without a shared-RNG race.
+func TestPlanRefreshNilRNG(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	for i := uint32(1); i <= 6; i++ {
+		tr := &Traceroute{Src: 1<<24 | i, Dst: 4<<24 | 100 + i, Time: 0}
+		for j, h := range []uint32{1<<24 | (i + 50), 2<<24 | 1, 3<<24 | 1, 4<<24 | 100 + i} {
+			tr.Hops = append(tr.Hops, Hop{TTL: j + 1, IP: h})
+		}
+		if err := m.Track(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Advance(45 * 900)
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	m.Advance(46 * 900)
+	if len(m.StaleKeys()) == 0 {
+		t.Fatal("scenario produced no stale pairs")
+	}
+
+	p1 := m.PlanRefresh(3, nil)
+	if len(p1) != 3 {
+		t.Fatalf("plan = %v", p1)
+	}
+	p2 := m.PlanRefresh(3, nil)
+	if len(p1) != len(p2) {
+		t.Fatalf("nil-rng plans differ in size: %v vs %v", p1, p2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("nil-rng plan not deterministic: %v vs %v", p1, p2)
+		}
+	}
+}
+
+// TestTrackedAndStaleKeysSorted locks in the documented deterministic
+// (Src, Dst) ordering regardless of insertion order.
+func TestTrackedAndStaleKeysSorted(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	// Track in descending src order.
+	for _, src := range []string{"8.0.0.1", "3.0.0.1", "1.0.0.1"} {
+		tr := trace(t, 0, src, "4.0.0.9", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+		if err := m.Track(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := func(keys []Key) bool {
+		for i := 1; i < len(keys); i++ {
+			a, b := keys[i-1], keys[i]
+			if a.Src > b.Src || (a.Src == b.Src && a.Dst >= b.Dst) {
+				return false
+			}
+		}
+		return true
+	}
+	if keys := m.Tracked(); len(keys) != 3 || !sorted(keys) {
+		t.Fatalf("Tracked not sorted: %v", keys)
+	}
+	m.Advance(45 * 900)
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	m.Advance(46 * 900)
+	if keys := m.StaleKeys(); len(keys) < 2 || !sorted(keys) {
+		t.Fatalf("StaleKeys not sorted: %v", keys)
+	}
+}
+
+// TestSnapshotRestore round-trips the monitor's restartable state: corpus,
+// active signals, window clock, and cumulative counters.
+func TestSnapshotRestore(t *testing.T) {
+	m, _ := snapshotScenario(t)
+	snap := m.Snapshot()
+	if len(snap.Traces) != 1 || len(snap.Active) == 0 {
+		t.Fatalf("snapshot = %d traces, %d signals", len(snap.Traces), len(snap.Active))
+	}
+
+	m2 := newTestMonitor(t)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	k := snap.Traces[0].Key()
+	if !m2.Stale(k) {
+		t.Fatal("restored monitor lost staleness")
+	}
+	if got, want := m2.Tracked(), m.Tracked(); len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("Tracked = %v, want %v", got, want)
+	}
+	got, want := m2.SignalCounts(), m.SignalCounts()
+	for tech, n := range want {
+		if got[tech] != n {
+			t.Fatalf("SignalCounts[%v] = %d, want %d", tech, got[tech], n)
+		}
+	}
+	if m2.WindowsClosed() != m.WindowsClosed() {
+		t.Fatalf("WindowsClosed = %d, want %d", m2.WindowsClosed(), m.WindowsClosed())
+	}
+
+	// The restored monitor keeps working: a refresh clears the staleness
+	// and counters keep accumulating on top of the restored baseline.
+	fresh := trace(t, 47*900, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "9.0.0.1", "4.0.0.3", "4.0.0.9")
+	if cls, err := m2.RecordRefresh(fresh); err != nil || cls != ASChange {
+		t.Fatalf("refresh on restored monitor = %v, %v", cls, err)
+	}
+	if m2.Stale(k) {
+		t.Fatal("refresh did not clear restored staleness")
+	}
+
+	// Snapshots chain: a second snapshot of the restored monitor carries
+	// the combined counters.
+	snap2 := m2.Snapshot()
+	if snap2.WindowsClosed != m2.WindowsClosed() {
+		t.Fatalf("second snapshot windows = %d, want %d", snap2.WindowsClosed, m2.WindowsClosed())
+	}
+
+	// Window-size mismatch is refused.
+	bad := *snap
+	bad.WindowSec = snap.WindowSec + 1
+	if err := newTestMonitor(t).Restore(&bad); err == nil {
+		t.Fatal("WindowSec mismatch accepted")
+	}
+}
+
+// snapshotScenario: one tracked pair, gone stale via an AS-path change.
+func snapshotScenario(t *testing.T) (*Monitor, *Traceroute) {
+	t.Helper()
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(45 * 900)
+	m.ObserveBGP(announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4}))
+	m.Advance(46 * 900)
+	if !m.Stale(tr.Key()) {
+		t.Fatal("scenario setup: pair not stale")
+	}
+	return m, tr
+}
+
 // TestMonitorConcurrentAccess drives feeds and queries from separate
 // goroutines; run with -race it checks the Monitor's locking.
 func TestMonitorConcurrentAccess(t *testing.T) {

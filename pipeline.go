@@ -2,11 +2,17 @@ package rrr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
 	"rrr/internal/bgp"
 )
+
+// errPipelineCancelled is the internal sentinel the fill helpers return
+// when ctx fires while they are blocked on a feed channel; Pipeline maps
+// it back to ctx.Err() after draining.
+var errPipelineCancelled = errors.New("rrr: pipeline cancelled")
 
 // UpdateSource produces BGP updates in time order (io.EOF ends the feed).
 // bgp.Merger, the MRT/binary/text readers, and simulator feeds implement it.
@@ -39,6 +45,32 @@ func (s *TraceSliceSource) Read() (*Traceroute, error) {
 	return t, nil
 }
 
+// Tee fans one Pipeline sink out to several consumers: each signal is
+// delivered to every non-nil sink in order, on the pipeline goroutine.
+// Sinks that must not stall ingestion (an SSE fan-out, a logger) should
+// hand off internally; see internal/server's subscriber hub. Nil sinks are
+// dropped; with none left Tee returns nil, which Pipeline treats as
+// "discard".
+func Tee(sinks ...func(Signal)) func(Signal) {
+	live := make([]func(Signal), 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(s Signal) {
+		for _, sink := range live {
+			sink(s)
+		}
+	}
+}
+
 // pipelineChanCap bounds each feed's decode-ahead buffer, so decoding
 // overlaps monitor work without letting a fast feed run away from a slow
 // consumer (backpressure: a full channel blocks the reader goroutine).
@@ -68,6 +100,14 @@ type traceItem struct {
 // produce. On early return (error or cancellation) the reader goroutines
 // are told to stop; one blocked inside a source Read call exits after that
 // call returns.
+//
+// Cancellation is honored even while both reader goroutines are blocked
+// inside Read (a live feed waiting for its next item): the merge loop
+// selects on ctx alongside the feed channels. On cancellation the pipeline
+// additionally closes the currently-open window — delivering buffered
+// observations as final signals to sink — before returning ctx.Err(), so a
+// daemon's graceful shutdown (cancel → drain → final window close →
+// snapshot) loses nothing that was already observed.
 //
 // This is the integration shape of a production deployment: collector
 // dumps and traceroute archives stream in while the monitor flags stale
@@ -148,49 +188,78 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 		}
 	}
 
+	// done is nil (blocks forever) when no context is supplied.
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	// finish closes the currently-open window on the way out of a
+	// cancelled run, so already-ingested observations still produce their
+	// signals (graceful-shutdown drain).
+	finish := func(err error) error {
+		if started {
+			emit(m.CloseWindow(curIdx * window))
+		}
+		return err
+	}
+
 	fillU := func() error {
 		if uch == nil || haveU {
 			return nil
 		}
-		it, ok := <-uch
-		if !ok {
-			uch = nil
+		select {
+		case it, ok := <-uch:
+			if !ok {
+				uch = nil
+				return nil
+			}
+			if it.err != nil {
+				return fmt.Errorf("rrr: bgp feed: %w", it.err)
+			}
+			pendingU, haveU = it.u, true
 			return nil
+		case <-done:
+			return errPipelineCancelled
 		}
-		if it.err != nil {
-			return fmt.Errorf("rrr: bgp feed: %w", it.err)
-		}
-		pendingU, haveU = it.u, true
-		return nil
 	}
 	fillT := func() error {
 		if tch == nil || pendingT != nil {
 			return nil
 		}
-		it, ok := <-tch
-		if !ok {
-			tch = nil
+		select {
+		case it, ok := <-tch:
+			if !ok {
+				tch = nil
+				return nil
+			}
+			if it.err != nil {
+				return fmt.Errorf("rrr: traceroute feed: %w", it.err)
+			}
+			pendingT = it.t
 			return nil
+		case <-done:
+			return errPipelineCancelled
 		}
-		if it.err != nil {
-			return fmt.Errorf("rrr: traceroute feed: %w", it.err)
-		}
-		pendingT = it.t
-		return nil
 	}
 
 	for {
 		if ctx != nil {
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return finish(ctx.Err())
 			default:
 			}
 		}
 		if err := fillU(); err != nil {
+			if err == errPipelineCancelled {
+				return finish(ctx.Err())
+			}
 			return err
 		}
 		if err := fillT(); err != nil {
+			if err == errPipelineCancelled {
+				return finish(ctx.Err())
+			}
 			return err
 		}
 		switch {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync"
 	"testing"
+	"time"
 
 	"rrr/internal/bgp"
 	"rrr/internal/bordermap"
@@ -87,6 +89,139 @@ func TestPipelineContextCancel(t *testing.T) {
 type failingTraceSource struct{}
 
 func (failingTraceSource) Read() (*Traceroute, error) { return nil, io.ErrUnexpectedEOF }
+
+// blockingUpdateSource serves updates from an unbuffered channel, blocking
+// between items like a live feed; reads (when non-nil) gets a token each
+// time Read is entered, so tests can tell when the reader is parked.
+type blockingUpdateSource struct {
+	ch    chan Update
+	reads chan struct{}
+}
+
+func (s *blockingUpdateSource) Read() (Update, error) {
+	if s.reads != nil {
+		select {
+		case s.reads <- struct{}{}:
+		default:
+		}
+	}
+	u, ok := <-s.ch
+	if !ok {
+		return Update{}, io.EOF
+	}
+	return u, nil
+}
+
+type blockingTraceSource struct {
+	ch chan *Traceroute
+}
+
+func (s *blockingTraceSource) Read() (*Traceroute, error) {
+	t, ok := <-s.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return t, nil
+}
+
+// TestPipelineCancelWhileBlocked is the live-daemon shutdown case: both
+// reader goroutines are parked inside Read (feeds with no pending data)
+// when the context fires. Pipeline must still return promptly with
+// context.Canceled instead of waiting for the feeds.
+func TestPipelineCancelWhileBlocked(t *testing.T) {
+	m := newTestMonitor(t)
+	us := &blockingUpdateSource{ch: make(chan Update)}
+	ts := &blockingTraceSource{ch: make(chan *Traceroute)}
+	defer close(us.ch)
+	defer close(ts.ch)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Pipeline(ctx, m, us, ts, nil) }()
+
+	// Hand the pipeline one update so it is mid-stream (not at EOF), then
+	// leave both feeds silent and cancel.
+	us.ch <- announceUpd(t, 5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 4})
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v; want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pipeline did not honor cancellation while readers were blocked")
+	}
+}
+
+// TestPipelineCancelClosesOpenWindow checks the graceful-shutdown drain:
+// observations already ingested when the context fires still produce their
+// signals via a final window close.
+func TestPipelineCancelClosesOpenWindow(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(45 * 900)
+
+	us := &blockingUpdateSource{ch: make(chan Update), reads: make(chan struct{}, 8)}
+	defer close(us.ch)
+	var got []Signal
+	var mu sync.Mutex
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Pipeline(ctx, m, us, nil, func(s Signal) {
+			mu.Lock()
+			got = append(got, s)
+			mu.Unlock()
+		})
+	}()
+
+	// The change lands in window 45, which stays open (no later-window item
+	// arrives to close it); cancellation must close it and emit the signal.
+	<-us.reads // reader is inside Read
+	us.ch <- announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4})
+	// The reader re-entering Read means the update was handed to the merge
+	// loop's channel; give the merge a beat to observe it.
+	<-us.reads
+	time.Sleep(100 * time.Millisecond)
+	if m.Stale(tr.Key()) {
+		t.Fatal("window closed before cancellation; scenario broken")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("cancellation dropped the open window's signals")
+	}
+	if !m.Stale(tr.Key()) {
+		t.Fatal("pair not stale after drain")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty Tee should be nil (Pipeline's discard)")
+	}
+	var a, b []int64
+	one := Tee(func(s Signal) { a = append(a, s.WindowStart) })
+	one(Signal{WindowStart: 1})
+	if len(a) != 1 {
+		t.Fatal("single-sink Tee did not deliver")
+	}
+	both := Tee(func(s Signal) { a = append(a, s.WindowStart) }, nil,
+		func(s Signal) { b = append(b, s.WindowStart) })
+	both(Signal{WindowStart: 2})
+	both(Signal{WindowStart: 3})
+	if len(a) != 3 || len(b) != 2 || a[2] != 3 || b[1] != 3 {
+		t.Fatalf("fan-out = %v / %v", a, b)
+	}
+}
 
 func TestPipelineFeedErrorPropagates(t *testing.T) {
 	m := newTestMonitor(t)
