@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,11 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 10x ./internal/core/
 
-# Tier-1 verification plus vet and the race pass.
+# Machine-readable bench record: engine + serve throughput plus a full
+# metrics-registry snapshot, diffable across PRs.
+bench-json:
+	$(GO) run ./cmd/rrrbench -only enginebench,servebench -benchout BENCH_pr3.json
+
+# Tier-1 verification plus vet and the race pass. The server tests scrape
+# GET /metrics (format, layer coverage, concurrent-scrape race-cleanliness).
 verify: build vet test race

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"rrr/internal/experiments"
+	"rrr/internal/obs"
 	"rrr/internal/server"
 )
 
@@ -29,6 +31,8 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent clients for -only servebench")
 	requests := flag.Int("requests", 2000, "total batch requests for -only servebench")
 	batch := flag.Int("batch", 64, "keys per batch for -only servebench")
+	metrics := flag.Bool("metrics", false, "dump the obs metrics registry (Prometheus text) after the run")
+	benchout := flag.String("benchout", "", "write machine-readable bench results + registry snapshot to this JSON file")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -112,6 +116,8 @@ func main() {
 			printFig15(c)
 		}
 	}
+	var engineResults []experiments.EngineBenchResult
+	var serveResult *server.ServeBenchResult
 	if len(want) != 0 && want["enginebench"] {
 		var counts []int
 		for _, s := range strings.Split(*shards, ",") {
@@ -122,7 +128,8 @@ func main() {
 			}
 			counts = append(counts, n)
 		}
-		printEngineBench(experiments.RunEngineBench(sc, counts))
+		engineResults = experiments.RunEngineBench(sc, counts)
+		printEngineBench(engineResults)
 	}
 	if run("fig16") {
 		printFig16(experiments.RunIPlane(sc))
@@ -133,8 +140,52 @@ func main() {
 			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
 			os.Exit(1)
 		}
+		serveResult = r
 		printServeBench(r)
 	}
+
+	if *metrics {
+		fmt.Println("\n=== Metrics registry ===")
+		obs.Default.WritePrometheus(os.Stdout)
+	}
+	if *benchout != "" {
+		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult); err != nil {
+			fmt.Fprintf(os.Stderr, "benchout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *benchout)
+	}
+}
+
+// benchJSON is the machine-readable record written by -benchout: the bench
+// numbers plus a full registry snapshot so regressions in both throughput
+// and internal counters (e.g. shard imbalance) are diffable across PRs.
+type benchJSON struct {
+	Scale      string                          `json:"scale"`
+	Days       int                             `json:"days"`
+	Seed       int64                           `json:"seed"`
+	GOMAXPROCS int                             `json:"gomaxprocs"`
+	Engine     []experiments.EngineBenchResult `json:"engine,omitempty"`
+	Serve      *server.ServeBenchResult        `json:"serve,omitempty"`
+	Metrics    map[string]float64              `json:"metrics"`
+}
+
+func writeBenchJSON(path, scale string, sc experiments.Scale,
+	engine []experiments.EngineBenchResult, serve *server.ServeBenchResult) error {
+	out := benchJSON{
+		Scale:      scale,
+		Days:       sc.Days,
+		Seed:       sc.SimCfg.Seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Engine:     engine,
+		Serve:      serve,
+		Metrics:    obs.Default.Snapshot(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printServeBench(r *server.ServeBenchResult) {

@@ -7,6 +7,7 @@
 //	rrrd -pace 100ms -v                   # real-time-ish pacing, log signals
 //	rrrd -snapshot /tmp/rrr.snap          # snapshot on shutdown (and on demand)
 //	rrrd -snapshot /tmp/rrr.snap -restore # restart from the snapshot
+//	rrrd -debug-addr :6060                # pprof + /metrics on a side listener
 //
 // Try it:
 //
@@ -15,6 +16,7 @@
 //	curl localhost:8080/v1/stale/10.3.0.1-10.9.0.9
 //	curl -N localhost:8080/v1/signals        # SSE stream
 //	curl -d '{"budget":20}' localhost:8080/v1/refresh/plan
+//	curl localhost:8080/metrics              # Prometheus text exposition
 //
 // Graceful shutdown (SIGINT/SIGTERM): cancel the pipeline (which drains
 // buffered observations and closes the open window), write the snapshot if
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +38,7 @@ import (
 
 	"rrr"
 	"rrr/internal/experiments"
+	"rrr/internal/obs"
 	"rrr/internal/server"
 )
 
@@ -48,17 +52,18 @@ func main() {
 	snapshot := flag.String("snapshot", "", "snapshot file path (written on shutdown and POST /v1/snapshot)")
 	restore := flag.Bool("restore", false, "restore corpus and signals from -snapshot at startup")
 	ring := flag.Int("ring", server.DefaultRingSize, "per-SSE-subscriber signal buffer")
+	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /metrics and /debug/pprof/*")
 	verbose := flag.Bool("v", false, "log every signal")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *days, *seed, *shards, *pace, *snapshot, *restore, *ring, *verbose); err != nil {
+	if err := run(*addr, *scale, *days, *seed, *shards, *pace, *snapshot, *restore, *ring, *debugAddr, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, days int, seed int64, shards int, pace time.Duration,
-	snapshot string, restore bool, ring int, verbose bool) error {
+	snapshot string, restore bool, ring int, debugAddr string, verbose bool) error {
 	var sc experiments.Scale
 	switch scale {
 	case "quick":
@@ -135,6 +140,24 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 	go func() {
 		pipeDone <- rrr.Pipeline(ctx, mon, env.Updates, env.Traces, sink)
 	}()
+
+	// Optional debug listener: pprof plus a second /metrics. Kept off the
+	// main mux so profiling endpoints are never exposed on the query port.
+	if debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.Handle("GET /metrics", obs.Default.Handler())
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("rrrd: debug endpoints on %s (/metrics, /debug/pprof/)", debugAddr)
+			if err := http.ListenAndServe(debugAddr, dbg); err != nil {
+				log.Printf("rrrd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	httpDone := make(chan error, 1)

@@ -29,7 +29,9 @@ type Detector interface {
 	// their history (stationarity preservation).
 	Add(v float64) bool
 	// Score returns the outlier score of the most recent Add; larger means
-	// more anomalous. The scale is detector specific.
+	// more anomalous. The scale is detector specific, but scores are
+	// always finite (signals travel through JSON, which rejects NaN/Inf);
+	// DegenerateScore marks the unbounded any-change-is-an-outlier case.
 	Score() float64
 	// Ready reports whether enough history has accumulated to flag.
 	Ready() bool
@@ -59,6 +61,14 @@ type ZScoreDetector struct {
 const DefaultMaxHistory = 96
 
 const zScoreConsistency = 0.6745 // E[MAD]/σ for the normal distribution
+
+// DegenerateScore is the score assigned when a constant history makes any
+// differing value an outlier (zero MAD and zero mean absolute deviation).
+// It is a finite stand-in for +Inf: it sorts above every real score, and —
+// unlike Inf — survives encoding/json, which rejects non-finite floats
+// (an Inf score silently truncated API verdict bodies and failed snapshot
+// writes).
+const DegenerateScore = math.MaxFloat64
 
 // NewZScore returns a detector with the conventional 3.5 cutoff.
 func NewZScore() *ZScoreDetector { return &ZScoreDetector{} }
@@ -110,7 +120,7 @@ func (d *ZScoreDetector) Add(v float64) bool {
 			// Degenerate constant history: any different value is an
 			// outlier once ready.
 			if v != med {
-				d.score = math.Inf(1)
+				d.score = DegenerateScore
 				return true
 			}
 			d.score = 0

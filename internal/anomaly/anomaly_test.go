@@ -54,8 +54,9 @@ func TestZScoreConstantHistoryDegenerate(t *testing.T) {
 	if !d.Add(0.9) {
 		t.Error("any deviation from constant history should flag")
 	}
-	if !math.IsInf(d.Score(), 1) {
-		t.Errorf("score = %v; want +Inf", d.Score())
+	// Finite by contract: Inf would fail JSON encoding of signals.
+	if d.Score() != DegenerateScore {
+		t.Errorf("score = %v; want DegenerateScore", d.Score())
 	}
 }
 

@@ -396,6 +396,20 @@ func (e *Engine) Registrations(k traceroute.Key) []Registration {
 // Active returns the currently-active (unrevoked) signals for a pair.
 func (e *Engine) Active(k traceroute.Key) []Signal { return e.active[k] }
 
+// ActivePairs counts pairs with at least one active signal.
+func (e *Engine) ActivePairs() int {
+	n := 0
+	for _, sigs := range e.active {
+		if len(sigs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumEntries reports how many corpus pairs this engine owns.
+func (e *Engine) NumEntries() int { return len(e.entries) }
+
 // ClearActive resets a pair's signal state (after a refresh re-registers
 // it).
 func (e *Engine) ClearActive(k traceroute.Key) { delete(e.active, k) }

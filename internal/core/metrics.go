@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strconv"
+
+	"rrr/internal/obs"
+)
+
+// Per-shard instrumentation for the sharded engine. Handles are resolved
+// once in NewSharded (one labeled series per shard index), so the drain
+// and close paths only touch atomics. Shard-labeled series accumulate
+// across engine instances sharing a process — in the daemon there is
+// exactly one — and expose imbalance: a hot shard shows a fatter
+// close-window latency distribution and a larger owned-pairs gauge than
+// its peers, since broadcast observation counts are identical by design.
+type shardMetrics struct {
+	obs   []*obs.Counter   // observations replayed into the shard
+	pairs []*obs.Gauge     // corpus pairs owned by the shard
+	close []*obs.Histogram // per-shard replay+close latency
+}
+
+func newShardMetrics(n int) shardMetrics {
+	obs.Default.Help("rrr_shard_observations_total", "broadcast observations (BGP changes and prepared traceroutes) replayed into each shard")
+	obs.Default.Help("rrr_shard_pairs", "corpus pairs owned by each shard (imbalance indicator)")
+	obs.Default.Help("rrr_shard_close_window_seconds", "per-shard drain+close latency for one signal window")
+	m := shardMetrics{
+		obs:   make([]*obs.Counter, n),
+		pairs: make([]*obs.Gauge, n),
+		close: make([]*obs.Histogram, n),
+	}
+	for i := 0; i < n; i++ {
+		shard := strconv.Itoa(i)
+		m.obs[i] = obs.Default.Counter("rrr_shard_observations_total", "shard", shard)
+		m.pairs[i] = obs.Default.Gauge("rrr_shard_pairs", "shard", shard)
+		m.close[i] = obs.Default.Histogram("rrr_shard_close_window_seconds", nil, "shard", shard)
+	}
+	return m
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"rrr/internal/bgp"
 	"rrr/internal/bordermap"
@@ -63,6 +64,7 @@ type Sharded struct {
 	Calib *Calibrator
 
 	ops []shardOp
+	met shardMetrics
 }
 
 // NewSharded builds a sharded engine. cfg.Shards of 0 means
@@ -85,6 +87,7 @@ func NewSharded(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, 
 	for i := 0; i < n; i++ {
 		s.shards = append(s.shards, newEngineWith(cfg, m, aliases, geo, rel, s.rib, ids, s.Calib, s.patcher))
 	}
+	s.met = newShardMetrics(n)
 	return s
 }
 
@@ -94,14 +97,19 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // RIB exposes the shared BGP table view (read-only use).
 func (s *Sharded) RIB() *bgp.RIB { return s.rib }
 
-// shardOf maps a corpus pair to its owning shard.
-func (s *Sharded) shardOf(k traceroute.Key) *Engine {
+// shardIdxOf maps a corpus pair to its owning shard index.
+func (s *Sharded) shardIdxOf(k traceroute.Key) int {
 	if len(s.shards) == 1 {
-		return s.shards[0]
+		return 0
 	}
 	h := uint64(k.Src)*0x9e3779b185ebca87 + uint64(k.Dst)*0xc2b2ae3d27d4eb4f
 	h ^= h >> 33
-	return s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(len(s.shards)))
+}
+
+// shardOf maps a corpus pair to its owning shard.
+func (s *Sharded) shardOf(k traceroute.Key) *Engine {
+	return s.shards[s.shardIdxOf(k)]
 }
 
 // drainLocked replays the buffered observations into every shard, one
@@ -115,18 +123,19 @@ func (s *Sharded) drainLocked() {
 	ops := s.ops
 	s.ops = nil
 	var wg sync.WaitGroup
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		wg.Add(1)
-		go func(e *Engine) {
+		go func(i int, e *Engine) {
 			defer wg.Done()
-			for i := range ops {
-				if ops[i].trace != nil {
-					e.observePrepared(ops[i].trace)
+			for j := range ops {
+				if ops[j].trace != nil {
+					e.observePrepared(ops[j].trace)
 				} else {
-					e.observeBGPChange(ops[i].update, ops[i].change)
+					e.observeBGPChange(ops[j].update, ops[j].change)
 				}
 			}
-		}(sh)
+			s.met.obs[i].Add(uint64(len(ops)))
+		}(i, sh)
 	}
 	wg.Wait()
 }
@@ -138,6 +147,7 @@ func (s *Sharded) ObserveBGP(u bgp.Update) {
 	defer s.mu.Unlock()
 	if len(s.shards) == 1 {
 		s.shards[0].ObserveBGP(u)
+		s.met.obs[0].Inc()
 		return
 	}
 	if bgp.FilterTooSpecific(u.Prefix) {
@@ -157,6 +167,7 @@ func (s *Sharded) ObservePublicTrace(t *traceroute.Traceroute) {
 	defer s.mu.Unlock()
 	if len(s.shards) == 1 {
 		s.shards[0].ObservePublicTrace(t)
+		s.met.obs[0].Inc()
 		return
 	}
 	s.ops = append(s.ops, shardOp{trace: prepareTrace(s.patcher, s.mapper, s.aliases, t)})
@@ -173,7 +184,10 @@ func (s *Sharded) CloseWindow(ws int64) []Signal {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.shards) == 1 {
-		return s.shards[0].CloseWindow(ws)
+		start := time.Now()
+		sigs := s.shards[0].CloseWindow(ws)
+		s.met.close[0].Observe(time.Since(start).Seconds())
+		return sigs
 	}
 	ops := s.ops
 	s.ops = nil
@@ -183,6 +197,7 @@ func (s *Sharded) CloseWindow(ws int64) []Signal {
 		wg.Add(1)
 		go func(i int, e *Engine) {
 			defer wg.Done()
+			start := time.Now()
 			for j := range ops {
 				if ops[j].trace != nil {
 					e.observePrepared(ops[j].trace)
@@ -191,6 +206,8 @@ func (s *Sharded) CloseWindow(ws int64) []Signal {
 				}
 			}
 			results[i] = e.CloseWindow(ws)
+			s.met.obs[i].Add(uint64(len(ops)))
+			s.met.close[i].Observe(time.Since(start).Seconds())
 		}(i, sh)
 	}
 	wg.Wait()
@@ -208,8 +225,10 @@ func (s *Sharded) AddCorpusEntry(en *corpus.Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.drainLocked()
-	owner := s.shardOf(en.Key)
+	i := s.shardIdxOf(en.Key)
+	owner := s.shards[i]
 	owner.AddCorpusEntry(en)
+	s.met.pairs[i].Set(int64(owner.NumEntries()))
 	for _, sh := range s.shards {
 		if sh != owner {
 			sh.shadowRegister(en)
@@ -239,7 +258,9 @@ func (s *Sharded) RemovePair(k traceroute.Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.drainLocked()
-	s.shardOf(k).RemovePair(k)
+	i := s.shardIdxOf(k)
+	s.shards[i].RemovePair(k)
+	s.met.pairs[i].Set(int64(s.shards[i].NumEntries()))
 }
 
 // EvaluateRefresh scores the pair's potential signals against a new
@@ -305,6 +326,19 @@ func (s *Sharded) SignalCounts() map[Technique]int {
 		}
 	}
 	return out
+}
+
+// ActivePairs counts pairs with at least one active signal. A pair's
+// active signals live only on its owning shard (shadow replicas carry no
+// watchers), so the per-shard sum is exact.
+func (s *Sharded) ActivePairs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ActivePairs()
+	}
+	return n
 }
 
 // RevocationStats sums §4.3.2 revocation counters across shards.

@@ -60,10 +60,12 @@ func (s *Subscriber) offer(sig rrr.Signal) {
 		select {
 		case <-s.ch:
 			s.dropped.Add(1)
+			metHubDropped.Inc()
 		default:
 		}
 	}
 	s.dropped.Add(1)
+	metHubDropped.Inc()
 }
 
 // Subscribe attaches a new subscriber.
@@ -71,6 +73,7 @@ func (h *Hub) Subscribe() *Subscriber {
 	sub := &Subscriber{ch: make(chan rrr.Signal, h.ring)}
 	h.mu.Lock()
 	h.subs[sub] = struct{}{}
+	metHubSubscribers.Set(int64(len(h.subs)))
 	h.mu.Unlock()
 	return sub
 }
@@ -81,6 +84,7 @@ func (h *Hub) Subscribe() *Subscriber {
 func (h *Hub) Unsubscribe(sub *Subscriber) {
 	h.mu.Lock()
 	delete(h.subs, sub)
+	metHubSubscribers.Set(int64(len(h.subs)))
 	h.mu.Unlock()
 }
 
@@ -94,6 +98,7 @@ func (h *Hub) Subscribers() int {
 // Publish delivers a signal to every subscriber without blocking. Safe for
 // use as a Pipeline sink.
 func (h *Hub) Publish(sig rrr.Signal) {
+	metHubPublished.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for sub := range h.subs {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -113,16 +114,26 @@ func RunServeBench(sc experiments.Scale, clients, requests, batchSize int) (*Ser
 				t0 := time.Now()
 				resp, err := httpc.Post(ts.URL+"/v1/stale", "application/json", bytes.NewReader(body))
 				if err != nil {
-					st.err = err
+					// Keep-alive race: the server may close an idle
+					// connection just as we reuse it, and the transport
+					// does not retry non-idempotent requests. This POST is
+					// read-only, so one retry on a fresh connection is safe.
+					resp, err = httpc.Post(ts.URL+"/v1/stale", "application/json", bytes.NewReader(body))
+				}
+				if err != nil {
+					st.err = fmt.Errorf("post: %w", err)
 					return
 				}
 				var out struct {
 					Stale int `json:"stale"`
 				}
 				err = json.NewDecoder(resp.Body).Decode(&out)
+				// Drain the trailing newline so the connection returns to
+				// the keep-alive pool instead of being torn down.
+				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if err != nil {
-					st.err = err
+					st.err = fmt.Errorf("decode (status %d): %w", resp.StatusCode, err)
 					return
 				}
 				if resp.StatusCode != http.StatusOK {

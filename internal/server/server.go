@@ -18,6 +18,7 @@
 //	POST /v1/refresh/plan     {"budget": n} -> §4.3.1 refresh plan
 //	POST /v1/refresh/record   fresh measurement -> change class + recalibration
 //	POST /v1/snapshot         write the restart snapshot to the configured path
+//	GET  /metrics             Prometheus text exposition of the obs.Default registry
 //	GET  /healthz             liveness
 package server
 
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/obs"
 )
 
 // Config tunes the server.
@@ -72,6 +74,7 @@ func New(mon *rrr.Monitor, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/refresh/plan", s.handleRefreshPlan)
 	s.mux.HandleFunc("POST /v1/refresh/record", s.handleRefreshRecord)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.Handle("GET /metrics", obs.Default.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -433,10 +436,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // --- helpers ---
 
+// writeJSON marshals before touching the ResponseWriter, so an encode
+// failure (e.g. a non-finite float smuggled into a response struct) becomes
+// a 500 with a body instead of a silently empty 200 — headers would already
+// be on the wire by the time a streaming encoder notices.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, code = []byte(`{"error":"response encoding failed"}`), http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	w.Write(data)
+	w.Write([]byte("\n"))
 }
 
 func writeErr(w http.ResponseWriter, code int, msg string) {

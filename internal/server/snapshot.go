@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rrr"
+	"rrr/internal/obs"
 )
 
 // snapshotMagic and snapshotVersion identify the on-disk snapshot
@@ -33,10 +35,15 @@ type SnapshotInfo struct {
 	Bytes   int
 }
 
-// WriteSnapshot captures the monitor's restartable state and atomically
-// writes it to path (temp file + rename, so a crash mid-write never
-// clobbers the previous good snapshot).
+// WriteSnapshot captures the monitor's restartable state and durably,
+// atomically writes it to path: create temp → write → fsync → close →
+// rename → fsync parent dir. The fsync before rename matters — rename
+// alone orders only metadata, so on some filesystems a crash shortly
+// after could surface an empty or truncated snapshot under the final
+// name. The temp file is removed on any failure instead of lingering
+// next to the good snapshot.
 func WriteSnapshot(path string, mon *rrr.Monitor) (SnapshotInfo, error) {
+	timer := obs.NewTimer(metSnapWriteSeconds)
 	snap := mon.Snapshot()
 	data, err := json.Marshal(snapshotFile{
 		Magic:   snapshotMagic,
@@ -44,20 +51,57 @@ func WriteSnapshot(path string, mon *rrr.Monitor) (SnapshotInfo, error) {
 		Monitor: snap,
 	})
 	if err != nil {
+		metSnapWriteErrors.Inc()
 		return SnapshotInfo{}, fmt.Errorf("server: encode snapshot: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileDurable(path, data); err != nil {
+		metSnapWriteErrors.Inc()
 		return SnapshotInfo{}, fmt.Errorf("server: write snapshot: %w", err)
+	}
+	timer.Stop()
+	metSnapWrites.Inc()
+	metSnapBytes.Set(int64(len(data)))
+	return SnapshotInfo{Entries: len(snap.Traces), Signals: len(snap.Active), Bytes: len(data)}, nil
+}
+
+// writeFileDurable performs the create→write→sync→close→rename dance,
+// cleaning up the temp file on every failure path.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return SnapshotInfo{}, fmt.Errorf("server: write snapshot: %w", err)
+		os.Remove(tmp)
+		return err
 	}
-	return SnapshotInfo{Entries: len(snap.Traces), Signals: len(snap.Active), Bytes: len(data)}, nil
+	// Persist the rename itself. Best-effort: some platforms refuse to
+	// fsync directories, and the data file is already durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 // LoadSnapshot reads and validates a snapshot file.
 func LoadSnapshot(path string) (*rrr.MonitorSnapshot, error) {
+	timer := obs.NewTimer(metSnapLoadSeconds)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("server: read snapshot: %w", err)
@@ -76,6 +120,8 @@ func LoadSnapshot(path string) (*rrr.MonitorSnapshot, error) {
 	if f.Monitor == nil {
 		return nil, fmt.Errorf("server: snapshot %s has no monitor state", path)
 	}
+	timer.Stop()
+	metSnapLoads.Inc()
 	return f.Monitor, nil
 }
 

@@ -1,0 +1,76 @@
+package rrr
+
+import "rrr/internal/obs"
+
+// Metric handles for the facade layer (Pipeline and Monitor), resolved
+// once at package init so the ingestion hot path touches only atomics.
+// Everything lands in obs.Default, which cmd/rrrd serves at GET /metrics.
+//
+// Gauges describe the most recently constructed Monitor/Pipeline in the
+// process — the daemon deployment shape — while counters are cumulative
+// across all instances (multiple monitors in one test binary share them).
+var (
+	metPipeUpdates     = obs.Default.Counter("rrr_pipeline_updates_total")
+	metPipeTraces      = obs.Default.Counter("rrr_pipeline_traces_total")
+	metPipeWindows     = obs.Default.Counter("rrr_pipeline_windows_closed_total")
+	metPipeUpdateQueue = obs.Default.Gauge("rrr_pipeline_update_queue_depth")
+	metPipeTraceQueue  = obs.Default.Gauge("rrr_pipeline_trace_queue_depth")
+	metPipeStall       = obs.Default.Histogram("rrr_pipeline_merge_stall_seconds", nil)
+	metPipeErrBGP      = obs.Default.Counter("rrr_pipeline_feed_errors_total", "feed", "bgp")
+	metPipeErrTrace    = obs.Default.Counter("rrr_pipeline_feed_errors_total", "feed", "traceroute")
+
+	metMonTracked   = obs.Default.Gauge("rrr_monitor_tracked_pairs")
+	metMonStale     = obs.Default.Gauge("rrr_monitor_stale_pairs")
+	metMonWindows   = obs.Default.Counter("rrr_monitor_windows_closed_total")
+	metMonRefreshes = obs.Default.Counter("rrr_monitor_refreshes_total")
+
+	// metMonSignals is indexed by Technique (values 0..5), one labeled
+	// series per row of the paper's Table 2.
+	metMonSignals = func() []*obs.Counter {
+		techs := []Technique{
+			TechBGPASPath, TechBGPCommunity, TechBGPBurst,
+			TechTraceSubpath, TechTraceBorder, TechIXPMembership,
+		}
+		out := make([]*obs.Counter, len(techs))
+		for _, t := range techs {
+			out[int(t)] = obs.Default.Counter("rrr_monitor_signals_total", "technique", t.String())
+		}
+		return out
+	}()
+)
+
+func init() {
+	obs.Default.Help("rrr_pipeline_updates_total", "BGP updates consumed by the pipeline merge loop")
+	obs.Default.Help("rrr_pipeline_traces_total", "public traceroutes consumed by the pipeline merge loop")
+	obs.Default.Help("rrr_pipeline_windows_closed_total", "signal windows closed by the pipeline (boundary, drain, and final closes)")
+	obs.Default.Help("rrr_pipeline_update_queue_depth", "decoded BGP updates buffered ahead of the merge loop")
+	obs.Default.Help("rrr_pipeline_trace_queue_depth", "decoded traceroutes buffered ahead of the merge loop")
+	obs.Default.Help("rrr_pipeline_merge_stall_seconds", "time the merge loop spent blocked waiting on an empty feed channel")
+	obs.Default.Help("rrr_pipeline_feed_errors_total", "feed decode errors that terminated a pipeline run")
+	obs.Default.Help("rrr_monitor_tracked_pairs", "corpus pairs currently tracked by the monitor")
+	obs.Default.Help("rrr_monitor_stale_pairs", "tracked pairs with active (unrevoked) staleness signals")
+	obs.Default.Help("rrr_monitor_windows_closed_total", "signal-generation windows the monitor has closed")
+	obs.Default.Help("rrr_monitor_refreshes_total", "fresh measurements recorded via RecordRefresh")
+	obs.Default.Help("rrr_monitor_signals_total", "staleness prediction signals emitted, by technique")
+}
+
+// recordSignalMetrics bumps the per-technique counters for one window's
+// signal batch.
+func recordSignalMetrics(sigs []Signal) {
+	for i := range sigs {
+		if t := int(sigs[i].Technique); t >= 0 && t < len(metMonSignals) {
+			metMonSignals[t].Inc()
+		}
+	}
+}
+
+// floorDiv divides rounding toward negative infinity, so pre-epoch
+// (negative) timestamps land in the window that contains them instead of
+// the one truncating division would pick. b must be positive.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}

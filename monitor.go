@@ -132,6 +132,7 @@ func (m *Monitor) trackLocked(t *Traceroute) error {
 	} else {
 		m.engine.AddCorpusEntry(en)
 	}
+	metMonTracked.Set(int64(m.corp.Len()))
 	return nil
 }
 
@@ -141,6 +142,7 @@ func (m *Monitor) Untrack(k Key) {
 	defer m.mu.Unlock()
 	m.corp.Remove(k)
 	m.engine.RemovePair(k)
+	metMonTracked.Set(int64(m.corp.Len()))
 }
 
 // Tracked returns the monitored pairs in sorted (Src, Dst) order, so API
@@ -166,7 +168,24 @@ func (m *Monitor) CloseWindow(ws int64) []Signal {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.cur, m.opened = ws+m.window, true
-	return m.engine.CloseWindow(ws)
+	sigs := m.engine.CloseWindow(ws)
+	m.noteWindowMetrics(sigs, 1)
+	return sigs
+}
+
+// noteWindowMetrics records one or more window closes: per-technique
+// signal counters, the windows-closed counter, and the stale-pairs gauge
+// (active pairs live only on their owning shard, so the engine count is
+// exact). Derived detector state (series baselines, calibration
+// internals) is deliberately not exported as metrics — it rebuilds from
+// feeds and would pin the exposition to engine internals.
+func (m *Monitor) noteWindowMetrics(sigs []Signal, windows int) {
+	if windows <= 0 {
+		return
+	}
+	metMonWindows.Add(uint64(windows))
+	recordSignalMetrics(sigs)
+	metMonStale.Set(int64(m.engine.ActivePairs()))
 }
 
 // Advance runs CloseWindow for every window up to (excluding) t, returning
@@ -182,13 +201,18 @@ func (m *Monitor) Advance(t int64) []Signal {
 		if m.haveObs && m.firstObs < start {
 			start = m.firstObs
 		}
-		m.cur, m.opened = (start/m.window)*m.window, true
+		// Floor division: a pre-epoch start must snap to the window
+		// containing it, not the one truncation rounds toward zero.
+		m.cur, m.opened = floorDiv(start, m.window)*m.window, true
 	}
 	var out []Signal
+	windows := 0
 	for ws := m.cur; ws+m.window <= t; ws += m.window {
 		out = append(out, m.engine.CloseWindow(ws)...)
 		m.cur = ws + m.window
+		windows++
 	}
+	m.noteWindowMetrics(out, windows)
 	return out
 }
 
@@ -261,6 +285,8 @@ func (m *Monitor) RecordRefresh(t *Traceroute) (ChangeClass, error) {
 	cls, _ := m.engine.EvaluateRefresh(en)
 	m.corp.Put(en)
 	m.engine.Reregister(en)
+	metMonRefreshes.Inc()
+	metMonStale.Set(int64(m.engine.ActivePairs()))
 	return cls, nil
 }
 

@@ -75,6 +75,19 @@ func TestMonitorRequiresMapper(t *testing.T) {
 	}
 }
 
+// TestAdvanceNegativeFirstWindow pins the floor-division first-window snap:
+// a pre-epoch observation at t=-450 belongs to window [-900, 0), so
+// Advance(900) must close two windows (-900 and 0). Truncating division
+// would snap the first window to 0 and close only one.
+func TestAdvanceNegativeFirstWindow(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, -450, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	m.Advance(900)
+	if n := m.WindowsClosed(); n != 2 {
+		t.Fatalf("WindowsClosed = %d; want 2 (windows -900 and 0)", n)
+	}
+}
+
 func TestMonitorEndToEnd(t *testing.T) {
 	m := newTestMonitor(t)
 	// Prime the RIB: two VPs with routes to 4.0.0.0/8.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"rrr/internal/bgp"
 )
@@ -91,7 +92,9 @@ type traceItem struct {
 // automatically at each WindowSec boundary, and every staleness prediction
 // signal is delivered to sink as it is generated. Either source may be nil.
 // Pipeline returns when both feeds are exhausted (closing the final
-// window), when ctx is cancelled, or on the first feed error.
+// window), when ctx is cancelled, or on the first feed error; in every
+// case the currently-open window is closed on the way out, so buffered
+// observations always produce their signals.
 //
 // Each source is decoded on its own goroutine feeding a bounded channel,
 // so MRT parsing and archive I/O overlap signal processing while
@@ -176,15 +179,23 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 			sink(s)
 		}
 	}
+	closeWin := func(ws int64) {
+		emit(m.CloseWindow(ws))
+		metPipeWindows.Inc()
+	}
+	// Window indices use floor division so a pre-epoch (negative)
+	// timestamp lands in the window containing it, matching
+	// Monitor.Advance's first-window snap; truncating division would put
+	// t=-1 and t=+1 in the same window.
 	advanceTo := func(t int64) {
-		idx := t / window
+		idx := floorDiv(t, window)
 		if !started {
 			started = true
 			curIdx = idx
 			return
 		}
 		for ; curIdx < idx; curIdx++ {
-			emit(m.CloseWindow(curIdx * window))
+			closeWin(curIdx * window)
 		}
 	}
 
@@ -194,11 +205,13 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 		done = ctx.Done()
 	}
 	// finish closes the currently-open window on the way out of a
-	// cancelled run, so already-ingested observations still produce their
-	// signals (graceful-shutdown drain).
+	// cancelled or feed-error run, so already-ingested observations still
+	// produce their signals (graceful-shutdown drain); the feed-error path
+	// matters because a decode failure otherwise silently discards every
+	// observation buffered since the last window boundary.
 	finish := func(err error) error {
 		if started {
-			emit(m.CloseWindow(curIdx * window))
+			closeWin(curIdx * window)
 		}
 		return err
 	}
@@ -207,39 +220,63 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 		if uch == nil || haveU {
 			return nil
 		}
+		var it updateItem
+		var ok bool
 		select {
-		case it, ok := <-uch:
-			if !ok {
-				uch = nil
-				return nil
+		case it, ok = <-uch:
+		default:
+			// Empty buffer: the merge loop is stalling on the decoder.
+			// Timing only this path keeps time.Now off the fast path.
+			stall := time.Now()
+			select {
+			case it, ok = <-uch:
+			case <-done:
+				metPipeStall.Observe(time.Since(stall).Seconds())
+				return errPipelineCancelled
 			}
-			if it.err != nil {
-				return fmt.Errorf("rrr: bgp feed: %w", it.err)
-			}
-			pendingU, haveU = it.u, true
-			return nil
-		case <-done:
-			return errPipelineCancelled
+			metPipeStall.Observe(time.Since(stall).Seconds())
 		}
+		if !ok {
+			uch = nil
+			return nil
+		}
+		metPipeUpdateQueue.Set(int64(len(uch)))
+		if it.err != nil {
+			metPipeErrBGP.Inc()
+			return fmt.Errorf("rrr: bgp feed: %w", it.err)
+		}
+		pendingU, haveU = it.u, true
+		return nil
 	}
 	fillT := func() error {
 		if tch == nil || pendingT != nil {
 			return nil
 		}
+		var it traceItem
+		var ok bool
 		select {
-		case it, ok := <-tch:
-			if !ok {
-				tch = nil
-				return nil
+		case it, ok = <-tch:
+		default:
+			stall := time.Now()
+			select {
+			case it, ok = <-tch:
+			case <-done:
+				metPipeStall.Observe(time.Since(stall).Seconds())
+				return errPipelineCancelled
 			}
-			if it.err != nil {
-				return fmt.Errorf("rrr: traceroute feed: %w", it.err)
-			}
-			pendingT = it.t
-			return nil
-		case <-done:
-			return errPipelineCancelled
+			metPipeStall.Observe(time.Since(stall).Seconds())
 		}
+		if !ok {
+			tch = nil
+			return nil
+		}
+		metPipeTraceQueue.Set(int64(len(tch)))
+		if it.err != nil {
+			metPipeErrTrace.Inc()
+			return fmt.Errorf("rrr: traceroute feed: %w", it.err)
+		}
+		pendingT = it.t
+		return nil
 	}
 
 	for {
@@ -254,27 +291,29 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 			if err == errPipelineCancelled {
 				return finish(ctx.Err())
 			}
-			return err
+			return finish(err)
 		}
 		if err := fillT(); err != nil {
 			if err == errPipelineCancelled {
 				return finish(ctx.Err())
 			}
-			return err
+			return finish(err)
 		}
 		switch {
 		case haveU && (pendingT == nil || pendingU.Time <= pendingT.Time):
 			advanceTo(pendingU.Time)
 			m.ObserveBGP(pendingU)
+			metPipeUpdates.Inc()
 			haveU = false
 		case pendingT != nil:
 			advanceTo(pendingT.Time)
 			m.ObservePublic(pendingT)
+			metPipeTraces.Inc()
 			pendingT = nil
 		default:
 			// Both feeds exhausted: close the final window.
 			if started {
-				emit(m.CloseWindow(curIdx * window))
+				closeWin(curIdx * window)
 			}
 			return nil
 		}

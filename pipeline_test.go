@@ -223,6 +223,74 @@ func TestTee(t *testing.T) {
 	}
 }
 
+// erroringUpdateSource serves a fixed slice, then fails with err — a decode
+// failure mid-feed rather than a clean EOF.
+type erroringUpdateSource struct {
+	updates []Update
+	err     error
+}
+
+func (s *erroringUpdateSource) Read() (Update, error) {
+	if len(s.updates) == 0 {
+		return Update{}, s.err
+	}
+	u := s.updates[0]
+	s.updates = s.updates[1:]
+	return u, nil
+}
+
+// TestPipelineFeedErrorDrain checks that a mid-feed decode error drains the
+// open window just like cancellation does: a change observed before the
+// error must still surface as a signal instead of being silently discarded
+// along with everything buffered since the last window boundary.
+func TestPipelineFeedErrorDrain(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}))
+	tr := trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")
+	if err := m.Track(tr); err != nil {
+		t.Fatal(err)
+	}
+	m.Advance(45 * 900)
+
+	// The change lands in window 45; the very next Read fails, so nothing
+	// in-stream ever closes that window.
+	us := &erroringUpdateSource{
+		updates: []Update{announceUpd(t, 45*900+5, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 9, 4})},
+		err:     io.ErrUnexpectedEOF,
+	}
+	var got []Signal
+	err := Pipeline(context.Background(), m, us, nil, func(s Signal) { got = append(got, s) })
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v; want wrapped unexpected EOF", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("feed error dropped the open window's signals")
+	}
+	if !m.Stale(tr.Key()) {
+		t.Fatal("pair not stale after feed-error drain")
+	}
+}
+
+// TestPipelineNegativeTimestampWindows pins the floor-division window
+// indexing: a pre-epoch observation must land in the window containing it
+// ([-900, 0)), not share truncation's window 0 with post-epoch items.
+func TestPipelineNegativeTimestampWindows(t *testing.T) {
+	m := newTestMonitor(t)
+	updates := []Update{
+		announceUpd(t, -450, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}),
+		announceUpd(t, 450, "5.0.0.9", 5, "4.0.0.0/8", []ASN{5, 2, 3, 4}),
+	}
+	if err := Pipeline(context.Background(), m, bgp.NewSliceSource(updates), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// t=-450 opens window -900, t=450 closes it and opens window 0, and the
+	// final close finishes window 0: two windows. Truncating division would
+	// fold both updates into a single window.
+	if n := m.WindowsClosed(); n != 2 {
+		t.Fatalf("WindowsClosed = %d; want 2", n)
+	}
+}
+
 func TestPipelineFeedErrorPropagates(t *testing.T) {
 	m := newTestMonitor(t)
 	err := Pipeline(context.Background(), m, nil, failingTraceSource{}, nil)
