@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 10s
+FUZZ_TARGETS := FuzzMRTReader FuzzBinaryReader FuzzTextReader FuzzParsePath FuzzParseCommunity
 
-.PHONY: build test vet race bench bench-json verify
+.PHONY: build test vet race bench bench-json fuzz verify
 
 build:
 	$(GO) build ./...
@@ -24,6 +26,17 @@ bench:
 # metrics-registry snapshot, diffable across PRs.
 bench-json:
 	$(GO) run ./cmd/rrrbench -only enginebench,servebench -benchout BENCH_pr3.json
+
+# Short fuzz pass over every parser entry point that consumes untrusted
+# bytes (MRT, binary, and text codecs; path and community parsers). Each
+# target gets FUZZTIME of coverage-guided input on top of its checked-in
+# seed corpus under internal/bgp/testdata/fuzz/. Go allows one -fuzz
+# target per invocation, hence the loop.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/bgp -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
 
 # Tier-1 verification plus vet and the race pass. The server tests scrape
 # GET /metrics (format, layer coverage, concurrent-scrape race-cleanliness).

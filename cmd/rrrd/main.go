@@ -53,17 +53,19 @@ func main() {
 	restore := flag.Bool("restore", false, "restore corpus and signals from -snapshot at startup")
 	ring := flag.Int("ring", server.DefaultRingSize, "per-SSE-subscriber signal buffer")
 	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /metrics and /debug/pprof/*")
+	feedRetries := flag.Int("feed-retries", 5, "transient feed failures tolerated per window before a feed is declared dead")
+	feedBackoff := flag.Duration("feed-backoff", 500*time.Millisecond, "initial retry backoff after a feed failure (doubles per attempt)")
 	verbose := flag.Bool("v", false, "log every signal")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *days, *seed, *shards, *pace, *snapshot, *restore, *ring, *debugAddr, *verbose); err != nil {
+	if err := run(*addr, *scale, *days, *seed, *shards, *pace, *snapshot, *restore, *ring, *debugAddr, *feedRetries, *feedBackoff, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, days int, seed int64, shards int, pace time.Duration,
-	snapshot string, restore bool, ring int, debugAddr string, verbose bool) error {
+	snapshot string, restore bool, ring int, debugAddr string, feedRetries int, feedBackoff time.Duration, verbose bool) error {
 	var sc experiments.Scale
 	switch scale {
 	case "quick":
@@ -126,7 +128,8 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 		log.Printf("rrrd: tracking %d corpus pairs (%d traces discarded)", tracked, skipped)
 	}
 
-	srv := server.New(mon, server.Config{SnapshotPath: snapshot, RingSize: ring})
+	health := rrr.NewPipelineHealth()
+	srv := server.New(mon, server.Config{SnapshotPath: snapshot, RingSize: ring, Health: health})
 
 	// One writer: the pipeline goroutine. Its sink tees into the SSE hub
 	// (never blocks) and, optionally, the log.
@@ -138,7 +141,22 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 	defer stop()
 	pipeDone := make(chan error, 1)
 	go func() {
-		pipeDone <- rrr.Pipeline(ctx, mon, env.Updates, env.Traces, sink)
+		// Degrade gracefully: transient feed failures retry with backoff,
+		// and a feed that dies anyway stops silently while the other feed
+		// and the query API keep running. Per-feed health shows up in
+		// /v1/stats and the retry counters in /metrics.
+		pipeDone <- rrr.RunPipeline(ctx, mon, rrr.PipelineConfig{
+			Updates: env.Updates,
+			Traces:  env.Traces,
+			Sink:    sink,
+			Retry: rrr.RetryPolicy{
+				MaxRetries:         feedRetries,
+				Backoff:            feedBackoff,
+				ContinueOnDeadFeed: true,
+			},
+			DedupAdjacent: true,
+			Health:        health,
+		})
 	}()
 
 	// Optional debug listener: pprof plus a second /metrics. Kept off the

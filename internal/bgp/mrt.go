@@ -57,6 +57,15 @@ const (
 // ErrMRTTruncated indicates a cut-off MRT stream.
 var ErrMRTTruncated = errors.New("bgp: truncated MRT record")
 
+// errMRTCut classifies a stream cut mid-record: it matches both
+// ErrMRTTruncated (this codec's taxonomy) and io.ErrUnexpectedEOF (the
+// standard "stream ended inside a frame" signal), while a cut exactly at
+// a record boundary stays a clean io.EOF. Consumers retrying a resumable
+// feed key off the io.ErrUnexpectedEOF distinction.
+func errMRTCut() error {
+	return fmt.Errorf("%w: %w", ErrMRTTruncated, io.ErrUnexpectedEOF)
+}
+
 // MRTReader parses BGP updates out of an MRT archive. Records of types
 // other than BGP4MP(_ET) update messages are skipped silently, as are BGP
 // OPEN/KEEPALIVE/NOTIFICATION messages, matching how update archives are
@@ -87,7 +96,10 @@ func (mr *MRTReader) Read() ([]Update, error) {
 			return nil, err
 		}
 		if _, err := io.ReadFull(mr.r, hdr[1:]); err != nil {
-			return nil, ErrMRTTruncated
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, errMRTCut()
+			}
+			return nil, err
 		}
 		ts := binary.BigEndian.Uint32(hdr[0:4])
 		typ := binary.BigEndian.Uint16(hdr[4:6])
@@ -98,7 +110,10 @@ func (mr *MRTReader) Read() ([]Update, error) {
 		}
 		body := make([]byte, length)
 		if _, err := io.ReadFull(mr.r, body); err != nil {
-			return nil, ErrMRTTruncated
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, errMRTCut()
+			}
+			return nil, err
 		}
 		tsec := int64(ts)
 		if typ == mrtTypeBGP4MPET {
@@ -336,7 +351,10 @@ func NewMRTWriter(w io.Writer) *MRTWriter {
 
 // Write emits one update as an MRT record.
 func (mw *MRTWriter) Write(u Update) error {
-	msg := encodeBGPUpdate(u)
+	msg, err := encodeBGPUpdate(u)
+	if err != nil {
+		return err
+	}
 	// BGP4MP_MESSAGE_AS4 body: peerAS(4) localAS(4) ifindex(2) afi(2)
 	// peerIP(4) localIP(4) + message.
 	body := make([]byte, 0, 20+len(msg))
@@ -361,47 +379,74 @@ func (mw *MRTWriter) Write(u Update) error {
 	if _, err := mw.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := mw.w.Write(body)
+	_, err = mw.w.Write(body)
 	return err
 }
 
 // Flush flushes the underlying buffer.
 func (mw *MRTWriter) Flush() error { return mw.w.Flush() }
 
-// encodeBGPUpdate builds a raw BGP UPDATE message for one Update.
-func encodeBGPUpdate(u Update) []byte {
+// encodeBGPUpdate builds a raw BGP UPDATE message for one Update. It
+// errors instead of silently wrapping a length field: a segment count is
+// one byte, an attribute length at most two, and the message length two —
+// an AS path or community set too large for those would round-trip as a
+// different (corrupt) update.
+func encodeBGPUpdate(u Update) ([]byte, error) {
 	var withdrawn, attrs, nlri []byte
+	var err error
 	if u.Type == Withdraw {
 		withdrawn = encodeNLRI(u.Prefix)
 	} else {
 		nlri = encodeNLRI(u.Prefix)
-		attrs = appendAttr(attrs, attrOrigin, []byte{0}) // IGP
-		// AS_PATH: one AS_SEQUENCE segment, 4-byte ASes.
-		seg := make([]byte, 2+4*len(u.ASPath))
-		seg[0] = asPathSequenceSegment
-		seg[1] = byte(len(u.ASPath))
-		for i, as := range u.ASPath {
-			binary.BigEndian.PutUint32(seg[2+4*i:], uint32(as))
+		if attrs, err = appendAttr(attrs, attrOrigin, []byte{0}); err != nil { // IGP
+			return nil, err
 		}
-		attrs = appendAttr(attrs, attrASPath, seg)
+		// AS_PATH: AS_SEQUENCE segments of at most 255 hops each (the
+		// segment count is a single byte), 4-byte ASes.
+		seg := make([]byte, 0, 2+4*len(u.ASPath)+2*(len(u.ASPath)/255))
+		for rest := u.ASPath; len(rest) > 0; {
+			n := len(rest)
+			if n > 255 {
+				n = 255
+			}
+			seg = append(seg, asPathSequenceSegment, byte(n))
+			for _, as := range rest[:n] {
+				var tmp [4]byte
+				binary.BigEndian.PutUint32(tmp[:], uint32(as))
+				seg = append(seg, tmp[:]...)
+			}
+			rest = rest[n:]
+		}
+		if attrs, err = appendAttr(attrs, attrASPath, seg); err != nil {
+			return nil, err
+		}
 		nh := make([]byte, 4)
 		binary.BigEndian.PutUint32(nh, u.PeerIP)
-		attrs = appendAttr(attrs, attrNextHop, nh)
+		if attrs, err = appendAttr(attrs, attrNextHop, nh); err != nil {
+			return nil, err
+		}
 		if u.MED != 0 {
 			med := make([]byte, 4)
 			binary.BigEndian.PutUint32(med, u.MED)
-			attrs = appendAttr(attrs, attrMED, med)
+			if attrs, err = appendAttr(attrs, attrMED, med); err != nil {
+				return nil, err
+			}
 		}
 		if len(u.Communities) > 0 {
 			cv := make([]byte, 4*len(u.Communities))
 			for i, c := range u.Communities {
 				binary.BigEndian.PutUint32(cv[4*i:], uint32(c))
 			}
-			attrs = appendAttr(attrs, attrCommunities, cv)
+			if attrs, err = appendAttr(attrs, attrCommunities, cv); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	bodyLen := 2 + len(withdrawn) + 2 + len(attrs) + len(nlri)
+	if 19+bodyLen > 0xffff {
+		return nil, fmt.Errorf("bgp: update encodes to %d bytes, exceeding the 65535-byte BGP message limit", 19+bodyLen)
+	}
 	msg := make([]byte, 19, 19+bodyLen)
 	for i := 0; i < 16; i++ {
 		msg[i] = 0xff // marker
@@ -416,10 +461,13 @@ func encodeBGPUpdate(u Update) []byte {
 	msg = append(msg, tmp[:]...)
 	msg = append(msg, attrs...)
 	msg = append(msg, nlri...)
-	return msg
+	return msg, nil
 }
 
-func appendAttr(dst []byte, code byte, val []byte) []byte {
+func appendAttr(dst []byte, code byte, val []byte) ([]byte, error) {
+	if len(val) > 0xffff {
+		return nil, fmt.Errorf("bgp: attribute %d encodes to %d bytes, exceeding the 2-byte length field", code, len(val))
+	}
 	flags := byte(0x40) // transitive
 	if len(val) > 255 {
 		flags |= 0x10 // extended length
@@ -427,7 +475,7 @@ func appendAttr(dst []byte, code byte, val []byte) []byte {
 	} else {
 		dst = append(dst, flags, code, byte(len(val)))
 	}
-	return append(dst, val...)
+	return append(dst, val...), nil
 }
 
 func encodeNLRI(p trie.Prefix) []byte {

@@ -114,7 +114,10 @@ func (dw *RIBDumpWriter) WritePrefix(p trie.Prefix, entries []RIBEntry) error {
 		body = append(body, i2[:]...)
 		binary.BigEndian.PutUint32(tmp[:], uint32(e.Originated))
 		body = append(body, tmp[:]...)
-		attrs := encodeRIBAttrs(e)
+		attrs, err := encodeRIBAttrs(e)
+		if err != nil {
+			return err
+		}
 		binary.BigEndian.PutUint16(i2[:], uint16(len(attrs)))
 		body = append(body, i2[:]...)
 		body = append(body, attrs...)
@@ -122,32 +125,53 @@ func (dw *RIBDumpWriter) WritePrefix(p trie.Prefix, entries []RIBEntry) error {
 	return dw.record(tdv2RIBIPv4Unicast, body)
 }
 
-func encodeRIBAttrs(e RIBEntry) []byte {
+func encodeRIBAttrs(e RIBEntry) ([]byte, error) {
 	var attrs []byte
-	attrs = appendAttr(attrs, attrOrigin, []byte{0})
-	seg := make([]byte, 2+4*len(e.ASPath))
-	seg[0] = asPathSequenceSegment
-	seg[1] = byte(len(e.ASPath))
-	for i, as := range e.ASPath {
-		binary.BigEndian.PutUint32(seg[2+4*i:], uint32(as))
+	var err error
+	if attrs, err = appendAttr(attrs, attrOrigin, []byte{0}); err != nil {
+		return nil, err
 	}
-	attrs = appendAttr(attrs, attrASPath, seg)
+	// AS_SEQUENCE segments of at most 255 hops each (single-byte count),
+	// matching encodeBGPUpdate.
+	seg := make([]byte, 0, 2+4*len(e.ASPath)+2*(len(e.ASPath)/255))
+	for rest := e.ASPath; len(rest) > 0; {
+		n := len(rest)
+		if n > 255 {
+			n = 255
+		}
+		seg = append(seg, asPathSequenceSegment, byte(n))
+		for _, as := range rest[:n] {
+			var tmp [4]byte
+			binary.BigEndian.PutUint32(tmp[:], uint32(as))
+			seg = append(seg, tmp[:]...)
+		}
+		rest = rest[n:]
+	}
+	if attrs, err = appendAttr(attrs, attrASPath, seg); err != nil {
+		return nil, err
+	}
 	nh := make([]byte, 4)
 	binary.BigEndian.PutUint32(nh, e.Peer.PeerIP)
-	attrs = appendAttr(attrs, attrNextHop, nh)
+	if attrs, err = appendAttr(attrs, attrNextHop, nh); err != nil {
+		return nil, err
+	}
 	if e.MED != 0 {
 		med := make([]byte, 4)
 		binary.BigEndian.PutUint32(med, e.MED)
-		attrs = appendAttr(attrs, attrMED, med)
+		if attrs, err = appendAttr(attrs, attrMED, med); err != nil {
+			return nil, err
+		}
 	}
 	if len(e.Communities) > 0 {
 		cv := make([]byte, 4*len(e.Communities))
 		for i, c := range e.Communities {
 			binary.BigEndian.PutUint32(cv[4*i:], uint32(c))
 		}
-		attrs = appendAttr(attrs, attrCommunities, cv)
+		if attrs, err = appendAttr(attrs, attrCommunities, cv); err != nil {
+			return nil, err
+		}
 	}
-	return attrs
+	return attrs, nil
 }
 
 // Flush flushes the underlying buffer.

@@ -64,7 +64,10 @@ func TestMRTMultiPrefixUpdate(t *testing.T) {
 	// then verify it expands to three Updates.
 	u1 := Update{Time: 100, PeerIP: 0x01020304, PeerAS: 65000, Type: Announce,
 		Prefix: trie.MakePrefix(0x0a000000, 8), ASPath: Path{65000, 1}, MED: 5}
-	msg := encodeBGPUpdate(u1)
+	msg, err := encodeBGPUpdate(u1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Append a second NLRI prefix 11.0.0.0/8 to the message.
 	msg = append(msg, encodeNLRI(trie.MakePrefix(0x0b000000, 8))...)
 	// Fix the total message length.

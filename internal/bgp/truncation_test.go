@@ -1,0 +1,159 @@
+package bgp_test
+
+// Regression tests for truncation classification (external test package so
+// the codecs can be driven through faultfeed's byte-level fault injector
+// without an import cycle): a stream cut exactly at a record boundary is a
+// clean io.EOF, a cut anywhere inside a record is io.ErrUnexpectedEOF, and
+// torn (short) reads never corrupt a parse.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"rrr/internal/bgp"
+	"rrr/internal/faultfeed"
+	"rrr/internal/trie"
+)
+
+func truncSeedUpdates() []bgp.Update {
+	return []bgp.Update{
+		{Time: 100, PeerIP: 0x01020304, PeerAS: 65000, Type: bgp.Announce,
+			Prefix: trie.MakePrefix(0x0a000000, 8), ASPath: bgp.Path{65000, 3356, 15169},
+			Communities: bgp.Communities{bgp.MakeCommunity(3356, 100)}, MED: 7},
+		{Time: 101, PeerIP: 0x01020304, PeerAS: 65000, Type: bgp.Withdraw,
+			Prefix: trie.MakePrefix(0xc0a80000, 16)},
+		{Time: 102, PeerIP: 0x05060708, PeerAS: 3356, Type: bgp.Announce,
+			Prefix: trie.MakePrefix(0x0b000000, 12), ASPath: bgp.Path{3356, 1299}},
+	}
+}
+
+// encodePerRecord returns the full stream plus each record's end offset.
+func encodePerRecord(t *testing.T, write func(*bytes.Buffer, bgp.Update)) ([]byte, map[int]bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	boundaries := map[int]bool{0: true}
+	for _, u := range truncSeedUpdates() {
+		write(&buf, u)
+		boundaries[buf.Len()] = true
+	}
+	return buf.Bytes(), boundaries
+}
+
+func drainMRT(r *bgp.MRTReader) error {
+	for {
+		if _, err := r.Read(); err != nil {
+			return err
+		}
+	}
+}
+
+func drainBinary(r *bgp.BinaryReader) error {
+	for {
+		if _, err := r.Read(); err != nil {
+			return err
+		}
+	}
+}
+
+func TestMRTReaderTruncationEveryOffset(t *testing.T) {
+	stream, boundaries := encodePerRecord(t, func(b *bytes.Buffer, u bgp.Update) {
+		w := bgp.NewMRTWriter(b)
+		if err := w.Write(u); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+	})
+	for cut := 0; cut <= len(stream); cut++ {
+		err := drainMRT(bgp.NewMRTReader(faultfeed.NewReader(bytes.NewReader(stream), 1, int64(cut))))
+		if boundaries[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut at record boundary %d: got %v, want clean io.EOF", cut, err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut mid-record at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+		if !errors.Is(err, bgp.ErrMRTTruncated) {
+			t.Fatalf("cut mid-record at %d: %v should also classify as ErrMRTTruncated", cut, err)
+		}
+	}
+}
+
+func TestBinaryReaderTruncationEveryOffset(t *testing.T) {
+	stream, boundaries := encodePerRecord(t, func(b *bytes.Buffer, u bgp.Update) {
+		w := bgp.NewBinaryWriter(b)
+		if err := w.Write(u); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+	})
+	for cut := 0; cut <= len(stream); cut++ {
+		err := drainBinary(bgp.NewBinaryReader(faultfeed.NewReader(bytes.NewReader(stream), 1, int64(cut))))
+		if boundaries[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut at record boundary %d: got %v, want clean io.EOF", cut, err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut mid-record at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestCodecsSurviveTornReads(t *testing.T) {
+	mrtStream, _ := encodePerRecord(t, func(b *bytes.Buffer, u bgp.Update) {
+		w := bgp.NewMRTWriter(b)
+		if err := w.Write(u); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+	})
+	fr := faultfeed.NewReader(bytes.NewReader(mrtStream), 99, -1)
+	fr.TearProb = 0.8
+	fr.MaxTear = 2
+	r := bgp.NewMRTReader(fr)
+	n := 0
+	for {
+		ups, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("torn reads broke MRT parse: %v", err)
+		}
+		n += len(ups)
+	}
+	if n != len(truncSeedUpdates()) {
+		t.Fatalf("parsed %d updates under torn reads, want %d", n, len(truncSeedUpdates()))
+	}
+
+	binStream, _ := encodePerRecord(t, func(b *bytes.Buffer, u bgp.Update) {
+		w := bgp.NewBinaryWriter(b)
+		if err := w.Write(u); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+	})
+	fr = faultfeed.NewReader(bytes.NewReader(binStream), 99, -1)
+	fr.TearProb = 0.8
+	fr.MaxTear = 2
+	br := bgp.NewBinaryReader(fr)
+	n = 0
+	for {
+		_, err := br.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("torn reads broke binary parse: %v", err)
+		}
+		n++
+	}
+	if n != len(truncSeedUpdates()) {
+		t.Fatalf("parsed %d updates under torn reads, want %d", n, len(truncSeedUpdates()))
+	}
+}

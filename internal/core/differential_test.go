@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rrr/internal/bgp"
+	"rrr/internal/traceroute"
+)
+
+// faultedEngine perturbs observation delivery the way a faulty transport
+// would — duplicate deliveries and bounded reordering within a window —
+// before handing records to the wrapped engine. The perturbation is a pure
+// function of the seed, so wrapping the serial engine and each sharded
+// engine with the same seed feeds every one the identical faulted sequence.
+// Pens flush before a window closes, so faults never move an observation
+// across a window boundary.
+type faultedEngine struct {
+	engineAPI
+	rng  *rand.Rand
+	penU []bgp.Update
+	penT []*traceroute.Traceroute
+}
+
+func newFaultedEngine(inner engineAPI, seed int64) *faultedEngine {
+	return &faultedEngine{engineAPI: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (f *faultedEngine) ObserveBGP(u bgp.Update) {
+	f.penU = append(f.penU, u)
+	if f.rng.Float64() < 0.25 {
+		f.penU = append(f.penU, u) // at-least-once redelivery
+	}
+	for len(f.penU) > 4 {
+		f.deliverU()
+	}
+}
+
+func (f *faultedEngine) deliverU() {
+	i := f.rng.Intn(len(f.penU))
+	u := f.penU[i]
+	f.penU = append(f.penU[:i], f.penU[i+1:]...)
+	f.engineAPI.ObserveBGP(u)
+}
+
+func (f *faultedEngine) ObservePublicTrace(tr *traceroute.Traceroute) {
+	f.penT = append(f.penT, tr)
+	if f.rng.Float64() < 0.25 {
+		f.penT = append(f.penT, tr)
+	}
+	for len(f.penT) > 4 {
+		f.deliverT()
+	}
+}
+
+func (f *faultedEngine) deliverT() {
+	i := f.rng.Intn(len(f.penT))
+	tr := f.penT[i]
+	f.penT = append(f.penT[:i], f.penT[i+1:]...)
+	f.engineAPI.ObservePublicTrace(tr)
+}
+
+func (f *faultedEngine) CloseWindow(ws int64) []Signal {
+	for len(f.penU) > 0 {
+		f.deliverU()
+	}
+	for len(f.penT) > 0 {
+		f.deliverT()
+	}
+	return f.engineAPI.CloseWindow(ws)
+}
+
+// TestShardedMatchesSerialUnderFaults extends the serial/sharded
+// equivalence guarantee to faulted inputs: when the identical seeded
+// dup+reorder-within-window schedule perturbs the workload, the sharded
+// engine's signal stream must still be byte-identical to the serial
+// engine's at every shard count. A divergence here means some engine path
+// (burst counting across shard drains, replica warm-up, monitor state)
+// depends on more than the observation sequence itself.
+func TestShardedMatchesSerialUnderFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IXPBootstrapSec = 0
+	const seed = 1337
+
+	serial := runShardWorkload(t, newFaultedEngine(
+		NewEngine(cfg, testMapper{}, identityAliases, workloadGeo(), workloadRel()), seed))
+
+	// The equivalence check is only meaningful if the faulted workload
+	// still makes every technique fire (duplicates only add observations,
+	// and reordering stays within windows, so it should).
+	for tech, n := range serial.counts {
+		if n == 0 {
+			t.Errorf("faulted workload produced no %v signals; equivalence check is weak", tech)
+		}
+	}
+
+	for _, shards := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			scfg := cfg
+			scfg.Shards = shards
+			got := runShardWorkload(t, newFaultedEngine(
+				NewSharded(scfg, testMapper{}, identityAliases, workloadGeo(), workloadRel()), seed))
+			if len(got.windows) != len(serial.windows) {
+				t.Fatalf("window count = %d, want %d", len(got.windows), len(serial.windows))
+			}
+			for i := range serial.windows {
+				if !reflect.DeepEqual(got.windows[i], serial.windows[i]) {
+					t.Fatalf("window %d diverges under faults:\n sharded: %v\n serial:  %v",
+						i, got.windows[i], serial.windows[i])
+				}
+			}
+			if !reflect.DeepEqual(got.counts, serial.counts) {
+				t.Errorf("signal counts = %v, want %v", got.counts, serial.counts)
+			}
+			if got.revoked != serial.revoked {
+				t.Errorf("revocation stats = %v, want %v", got.revoked, serial.revoked)
+			}
+			if !reflect.DeepEqual(got.plan, serial.plan) {
+				t.Errorf("refresh plan = %v, want %v", got.plan, serial.plan)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package faultfeed
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Reader wraps an io.Reader with byte-level fault injection, for driving
+// the binary codecs (MRTReader, BinaryReader) through the failure modes a
+// real archive download exhibits: torn/short reads (the transport returns
+// fewer bytes than asked — legal for io.Reader, and exactly what exposes
+// codecs that forget io.ReadFull), truncation at an arbitrary byte offset
+// (a connection cut mid-record must surface io.ErrUnexpectedEOF, not a
+// clean io.EOF), and a transient error at an offset.
+type Reader struct {
+	// TearProb short-changes a Read call with that probability,
+	// returning between 1 and MaxTear bytes (default 1).
+	TearProb float64
+	MaxTear  int
+
+	// TruncateAt, if >= 0, ends the stream with io.EOF after that many
+	// bytes, as if the upstream connection closed. -1 disables.
+	TruncateAt int64
+
+	// ErrAt, if >= 0, injects a transient error once after that many
+	// bytes; subsequent reads continue from where the stream left off.
+	ErrAt int64
+
+	r      io.Reader
+	rng    *rand.Rand
+	off    int64
+	errved bool
+}
+
+// NewReader wraps r; truncateAt < 0 disables truncation.
+func NewReader(r io.Reader, seed int64, truncateAt int64) *Reader {
+	return &Reader{r: r, rng: rand.New(rand.NewSource(seed)), TruncateAt: truncateAt, ErrAt: -1}
+}
+
+// Read implements io.Reader.
+func (f *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if f.TruncateAt >= 0 && f.off >= f.TruncateAt {
+		return 0, io.EOF
+	}
+	if f.ErrAt >= 0 && !f.errved && f.off >= f.ErrAt {
+		f.errved = true
+		return 0, Transient(fmt.Errorf("%w: stream break at byte %d", ErrInjected, f.off))
+	}
+	n := len(p)
+	if f.TruncateAt >= 0 && f.off+int64(n) > f.TruncateAt {
+		n = int(f.TruncateAt - f.off)
+	}
+	if f.ErrAt >= 0 && !f.errved && f.off+int64(n) > f.ErrAt {
+		n = int(f.ErrAt - f.off)
+		if n == 0 {
+			f.errved = true
+			return 0, Transient(fmt.Errorf("%w: stream break at byte %d", ErrInjected, f.off))
+		}
+	}
+	if f.TearProb > 0 && f.rng.Float64() < f.TearProb {
+		max := f.MaxTear
+		if max <= 0 {
+			max = 1
+		}
+		if tear := 1 + f.rng.Intn(max); tear < n {
+			n = tear
+		}
+	}
+	n, err := f.r.Read(p[:n])
+	f.off += int64(n)
+	return n, err
+}

@@ -45,6 +45,11 @@ type Config struct {
 	Heartbeat time.Duration
 	// MaxBatch caps the keys accepted by one POST /v1/stale (0 = 10000).
 	MaxBatch int
+	// Health, when set, surfaces the pipeline's per-feed supervisor state
+	// in GET /v1/stats — a degraded daemon (one feed dead or retrying)
+	// keeps serving, and operators see which feed is down without
+	// scraping /metrics.
+	Health *rrr.PipelineHealth
 }
 
 // Server serves staleness queries from a Monitor.
@@ -257,6 +262,10 @@ type Stats struct {
 	RevokedPairEvents int            `json:"revokedPairEvents"`
 	PrunedCommunities int            `json:"prunedCommunities"`
 	Subscribers       int            `json:"subscribers"`
+	// Feeds is the pipeline's per-feed health (status, retries, faults
+	// absorbed); absent when the server runs without an ingesting
+	// pipeline.
+	Feeds []rrr.FeedHealth `json:"feeds,omitempty"`
 }
 
 func (s *Server) stats() Stats {
@@ -274,6 +283,7 @@ func (s *Server) stats() Stats {
 	}
 	st.RevokedSignals, st.RevokedPairEvents = s.mon.RevocationStats()
 	st.PrunedCommunities = s.mon.PrunedCommunities()
+	st.Feeds = s.cfg.Health.Snapshot() // nil-safe: nil Health yields no feeds
 	return st
 }
 

@@ -278,6 +278,53 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.WindowsClosed != m.WindowsClosed() {
 		t.Fatalf("windowsClosed = %d, want %d", st.WindowsClosed, m.WindowsClosed())
 	}
+	if st.Feeds != nil {
+		t.Fatalf("stats without Health should omit feeds, got %+v", st.Feeds)
+	}
+}
+
+// TestStatsFeedHealth: a server wired with the pipeline's health registry
+// reports per-feed supervisor state under /v1/stats, so an operator can see
+// a degraded or finished feed from the query API alone.
+func TestStatsFeedHealth(t *testing.T) {
+	m := newTestMonitor(t)
+	m.ObserveBGP(announceUpd(t, 0, "5.0.0.9", 5, "4.0.0.0/8", []rrr.ASN{5, 2, 3, 4}))
+	if err := m.Track(trace(t, 0, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9")); err != nil {
+		t.Fatal(err)
+	}
+
+	health := rrr.NewPipelineHealth()
+	err := rrr.RunPipeline(context.Background(), m, rrr.PipelineConfig{
+		Updates: bgp.NewSliceSource([]rrr.Update{
+			announceUpd(t, 900+5, "5.0.0.9", 5, "4.0.0.0/8", []rrr.ASN{5, 2, 3, 4}),
+		}),
+		Traces: rrr.NewTraceSliceSource([]*rrr.Traceroute{
+			trace(t, 900+10, "1.0.0.1", "4.0.0.9", "1.0.0.2", "2.0.0.1", "3.0.0.1", "4.0.0.9"),
+		}),
+		Sink:   func(rrr.Signal) {},
+		Health: health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(m, Config{Health: health}).Handler())
+	defer ts.Close()
+	var st Stats
+	if code := getJSON(t, ts, "/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(st.Feeds) != 2 {
+		t.Fatalf("feeds = %+v, want bgp and traceroute entries", st.Feeds)
+	}
+	for _, f := range st.Feeds {
+		if f.Status != rrr.FeedEOF {
+			t.Fatalf("feed %s status = %q, want %q after a clean run", f.Feed, f.Status, rrr.FeedEOF)
+		}
+		if f.Retries != 0 || f.LastError != "" {
+			t.Fatalf("feed %s reports faults after a clean run: %+v", f.Feed, f)
+		}
+	}
 }
 
 func TestRefreshEndpoints(t *testing.T) {

@@ -64,6 +64,15 @@ func WriteSnapshot(path string, mon *rrr.Monitor) (SnapshotInfo, error) {
 	return SnapshotInfo{Entries: len(snap.Traces), Signals: len(snap.Active), Bytes: len(data)}, nil
 }
 
+// snapRename and snapSync are the crash points of the durable-write
+// sequence, indirected so tests can fail them at exactly the moment a real
+// crash would (between temp write and rename, or at fsync) and prove the
+// previous snapshot survives intact with no temp litter.
+var (
+	snapRename = os.Rename
+	snapSync   = func(f *os.File) error { return f.Sync() }
+)
+
 // writeFileDurable performs the create→write→sync→close→rename dance,
 // cleaning up the temp file on every failure path.
 func writeFileDurable(path string, data []byte) error {
@@ -77,7 +86,7 @@ func writeFileDurable(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := snapSync(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -86,7 +95,7 @@ func writeFileDurable(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := snapRename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
 	}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// snapDirEntries returns the file names in dir, for asserting that failed
+// snapshot attempts never leave temp litter next to the good snapshot.
+func snapDirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestSnapshotCrashBetweenWriteAndRename simulates a crash at the rename
+// step: the temp file is fully written and synced but never becomes the
+// snapshot. The previous snapshot must still restore, and the failed
+// attempt must not leave a .tmp file behind.
+func TestSnapshotCrashBetweenWriteAndRename(t *testing.T) {
+	m, stalePair, _ := newStaleMonitor(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rrr.snap")
+
+	// Generation 1: a good snapshot.
+	if _, err := WriteSnapshot(path, m); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The monitor moves on (more windows close), then the next snapshot
+	// attempt dies at the rename boundary.
+	m.Advance(50 * 900)
+	crash := errors.New("simulated crash at rename")
+	snapRename = func(oldpath, newpath string) (err error) { return crash }
+	defer func() { snapRename = os.Rename }()
+	if _, err := WriteSnapshot(path, m); !errors.Is(err, crash) {
+		t.Fatalf("WriteSnapshot err = %v, want the injected rename failure", err)
+	}
+
+	// The good snapshot is untouched and there is no temp litter.
+	afterBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(afterBytes, goodBytes) {
+		t.Fatal("failed snapshot attempt modified the previous snapshot")
+	}
+	if names := snapDirEntries(t, dir); !reflect.DeepEqual(names, []string{"rrr.snap"}) {
+		t.Fatalf("directory after failed snapshot = %v, want only rrr.snap", names)
+	}
+
+	// Restore from the surviving generation-1 snapshot succeeds and the
+	// stale verdict it captured is intact.
+	m2 := newTestMonitor(t)
+	if _, err := RestoreSnapshot(path, m2); err != nil {
+		t.Fatalf("restore from previous snapshot failed: %v", err)
+	}
+	if !m2.Stale(stalePair.Key()) {
+		t.Fatal("restored monitor lost the stale verdict")
+	}
+}
+
+// TestSnapshotCrashAtSync simulates a crash (or disk failure) at the fsync
+// of the temp file — before the data is durable, so nothing may replace
+// the previous snapshot and the half-written temp must be cleaned up.
+func TestSnapshotCrashAtSync(t *testing.T) {
+	m, _, _ := newStaleMonitor(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rrr.snap")
+	if _, err := WriteSnapshot(path, m); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crash := errors.New("simulated crash at fsync")
+	snapSync = func(*os.File) error { return crash }
+	defer func() { snapSync = func(f *os.File) error { return f.Sync() } }()
+	if _, err := WriteSnapshot(path, m); !errors.Is(err, crash) {
+		t.Fatalf("WriteSnapshot err = %v, want the injected sync failure", err)
+	}
+	afterBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(afterBytes, goodBytes) {
+		t.Fatal("failed snapshot attempt modified the previous snapshot")
+	}
+	if names := snapDirEntries(t, dir); !reflect.DeepEqual(names, []string{"rrr.snap"}) {
+		t.Fatalf("directory after failed snapshot = %v, want only rrr.snap", names)
+	}
+}
+
+// TestSnapshotOverwritesLeftoverTemp: a temp file left by a hard crash
+// (power loss between write and cleanup) must not break the next snapshot
+// — it is overwritten and the write completes normally.
+func TestSnapshotOverwritesLeftoverTemp(t *testing.T) {
+	m, stalePair, _ := newStaleMonitor(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rrr.snap")
+	if err := os.WriteFile(path+".tmp", []byte("half-written garbage from a previous crash"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if names := snapDirEntries(t, dir); !reflect.DeepEqual(names, []string{"rrr.snap"}) {
+		t.Fatalf("directory after snapshot over leftover temp = %v, want only rrr.snap", names)
+	}
+	m2 := newTestMonitor(t)
+	if _, err := RestoreSnapshot(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Stale(stalePair.Key()) {
+		t.Fatal("restored monitor lost the stale verdict")
+	}
+}

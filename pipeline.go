@@ -5,14 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"rrr/internal/bgp"
+	"rrr/internal/obs"
 )
 
 // errPipelineCancelled is the internal sentinel the fill helpers return
-// when ctx fires while they are blocked on a feed channel; Pipeline maps
-// it back to ctx.Err() after draining.
+// when ctx fires while they are blocked on a feed channel; the merge loop
+// maps it back to ctx.Err() after draining.
 var errPipelineCancelled = errors.New("rrr: pipeline cancelled")
 
 // UpdateSource produces BGP updates in time order (io.EOF ends the feed).
@@ -77,32 +79,528 @@ func Tee(sinks ...func(Signal)) func(Signal) {
 // consumer (backpressure: a full channel blocks the reader goroutine).
 const pipelineChanCap = 1024
 
-type updateItem struct {
-	u   Update
+// ResumeAll is the since value passed to an Open factory when the pipeline
+// has not yet ingested anything: deliver the feed from its beginning.
+const ResumeAll = math.MinInt64
+
+// IsTransientError reports whether err is worth retrying: anything in its
+// chain implementing Temporary() bool and returning true. net.Error values
+// and faultfeed's injected transients both satisfy it; io.EOF and decode
+// errors do not.
+func IsTransientError(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// RetryPolicy bounds how hard the pipeline fights for a failing feed.
+// The zero value never retries, matching the historical Pipeline behavior
+// of treating the first feed error as terminal.
+type RetryPolicy struct {
+	// MaxRetries is the retry budget per failure episode. Without an
+	// Open factory the reader retries the same source in place; with
+	// one, the supervisor reopens the feed and resumes window-aligned.
+	// The budget resets after a fully absorbed recovery.
+	MaxRetries int
+	// Backoff is the first retry's delay, doubling per attempt up to
+	// MaxBackoff (defaults 100ms and 5s when MaxRetries > 0). Context
+	// cancellation always preempts a backoff sleep.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// IsTransient classifies retryable errors; nil means
+	// IsTransientError. Permanent errors skip the budget entirely.
+	IsTransient func(error) bool
+	// ContinueOnDeadFeed keeps the run alive when a feed is declared
+	// dead: the other feed continues, windows keep closing, and the
+	// dead feed's error is returned (wrapped) only when the run ends.
+	// This is rrrd's graceful-degradation mode.
+	ContinueOnDeadFeed bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.IsTransient == nil {
+		p.IsTransient = IsTransientError
+	}
+	return p
+}
+
+// backoffFor returns the exponential delay for the attempt-th retry
+// (1-based).
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// PipelineConfig configures a RunPipeline run. Updates/Traces are the
+// initial sources; either may be nil. OpenUpdates/OpenTraces, when set,
+// let the supervisor reopen a feed after a transient failure, resuming
+// from the last completed window (the argument is the open window's start
+// time, or ResumeAll before the first record): the reopened feed re-covers
+// the open window and the pipeline skips the records it already ingested,
+// so signals are neither duplicated nor dropped. When only a factory is
+// given the initial source is opened lazily with ResumeAll.
+type PipelineConfig struct {
+	Updates     UpdateSource
+	OpenUpdates func(since int64) (UpdateSource, error)
+
+	Traces     TraceSource
+	OpenTraces func(since int64) (TraceSource, error)
+
+	Sink func(Signal)
+
+	Retry RetryPolicy
+
+	// ReorderWindow, when positive, restores timestamp order for records
+	// displaced by at most that many positions (a min-heap of
+	// ReorderWindow+1 records per feed), absorbing bounded transport
+	// reordering before the merge loop sees it.
+	ReorderWindow int
+
+	// DedupAdjacent drops a record byte-identical to its immediate
+	// predecessor: transport-level at-least-once redelivery. Distinct
+	// from protocol-level BGP duplicates, which arrive with their own
+	// timestamps and must reach the burst detector.
+	DedupAdjacent bool
+
+	// Health, when set, receives per-feed supervisor state for the
+	// serving layer; nil disables reporting.
+	Health *PipelineHealth
+}
+
+// feedItem carries one decoded record or a terminal reader error.
+type feedItem[T any] struct {
+	rec T
 	err error
 }
 
-type traceItem struct {
-	t   *Traceroute
-	err error
+// feed is the merge loop's per-feed supervisor state.
+type feed[T any] struct {
+	name    string
+	errWrap string
+	ch      chan feedItem[T]
+	// open is the normalized reopen factory (nil: in-place retry only).
+	open func(int64) (func() (T, error), error)
+
+	pending T
+	have    bool
+
+	// winItems are the records ingested since the last window close, in
+	// ingestion order; after a reopen the replayed stream is matched
+	// against them (via replay/replayIdx) so each record is observed
+	// exactly once.
+	winItems  []T
+	replay    []T
+	replayIdx int
+
+	reopens int
+	dead    bool
+	deadErr error
+
+	timeOf func(T) int64
+	equal  func(T, T) bool
+
+	met   *feedMetrics
+	queue *obs.Gauge
+	errs  *obs.Counter
 }
 
-// Pipeline drives a Monitor from a BGP feed and a public-traceroute feed:
-// the two time-ordered streams are interleaved by timestamp, windows close
-// automatically at each WindowSec boundary, and every staleness prediction
-// signal is delivered to sink as it is generated. Either source may be nil.
-// Pipeline returns when both feeds are exhausted (closing the final
-// window), when ctx is cancelled, or on the first feed error; in every
-// case the currently-open window is closed on the way out, so buffered
-// observations always produce their signals.
+// pipeShared is the state shared between the merge loop and the reader
+// goroutines.
+type pipeShared struct {
+	stop    chan struct{}
+	done    <-chan struct{}
+	retry   RetryPolicy
+	reorder int
+	dedup   bool
+	health  *PipelineHealth
+}
+
+// sleepOrStop sleeps d unless ch fires first; it reports whether the sleep
+// completed. Used for backoff in both the reader goroutines (stop) and the
+// merge loop (ctx.Done()), so cancellation always wins over backoff.
+func sleepOrStop(ch <-chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ch:
+		return false
+	}
+}
+
+// seqRec tags a record with its arrival sequence so the reorder buffer can
+// break timestamp ties in arrival order (keeping injected adjacent
+// duplicates adjacent).
+type seqRec[T any] struct {
+	rec T
+	t   int64
+	seq uint64
+}
+
+// orderedReader restores timestamp order for a stream whose records are
+// displaced by at most k positions: it keeps a min-heap of k+1 records and
+// always releases the earliest. Errors pass through with the heap intact,
+// so an in-place retry continues where it left off; on a reopen the heap
+// is discarded, which is safe because every buffered record has a
+// timestamp at or after the open window's start and window-aligned replay
+// re-delivers it.
+type orderedReader[T any] struct {
+	read   func() (T, error)
+	timeOf func(T) int64
+	k      int
+	h      []seqRec[T]
+	seq    uint64
+	maxPop uint64
+	popped bool
+	srcEOF bool
+	met    *obs.Counter
+}
+
+func newOrdered[T any](read func() (T, error), timeOf func(T) int64, k int, met *obs.Counter) *orderedReader[T] {
+	return &orderedReader[T]{read: read, timeOf: timeOf, k: k, met: met}
+}
+
+func (o *orderedReader[T]) less(i, j int) bool {
+	if o.h[i].t != o.h[j].t {
+		return o.h[i].t < o.h[j].t
+	}
+	return o.h[i].seq < o.h[j].seq
+}
+
+func (o *orderedReader[T]) push(r seqRec[T]) {
+	o.h = append(o.h, r)
+	for i := len(o.h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !o.less(i, parent) {
+			break
+		}
+		o.h[i], o.h[parent] = o.h[parent], o.h[i]
+		i = parent
+	}
+}
+
+func (o *orderedReader[T]) pop() seqRec[T] {
+	top := o.h[0]
+	last := len(o.h) - 1
+	o.h[0] = o.h[last]
+	o.h = o.h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(o.h) && o.less(l, small) {
+			small = l
+		}
+		if r < len(o.h) && o.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		o.h[i], o.h[small] = o.h[small], o.h[i]
+		i = small
+	}
+	return top
+}
+
+func (o *orderedReader[T]) next() (T, error) {
+	var zero T
+	for !o.srcEOF && len(o.h) <= o.k {
+		rec, err := o.read()
+		if err == io.EOF {
+			o.srcEOF = true
+			break
+		}
+		if err != nil {
+			return zero, err
+		}
+		o.push(seqRec[T]{rec: rec, t: o.timeOf(rec), seq: o.seq})
+		o.seq++
+	}
+	if len(o.h) == 0 {
+		return zero, io.EOF
+	}
+	top := o.pop()
+	// A record released after one with a later arrival sequence was
+	// delivered out of order by the transport.
+	if o.popped && top.seq < o.maxPop {
+		o.met.Inc()
+	} else {
+		o.maxPop = top.seq
+		o.popped = true
+	}
+	return top.rec, nil
+}
+
+// dedupReader drops records byte-identical to their immediate predecessor
+// (transport-level at-least-once redelivery). Errors pass through with the
+// predecessor state intact, so an in-place retry continues where it left
+// off.
+func dedupReader[T any](read func() (T, error), f *feed[T]) func() (T, error) {
+	var last T
+	have := false
+	return func() (T, error) {
+		for {
+			rec, err := read()
+			if err != nil {
+				return rec, err
+			}
+			if have && f.equal(rec, last) {
+				f.met.dups.Inc()
+				continue
+			}
+			last, have = rec, true
+			return rec, nil
+		}
+	}
+}
+
+// spawnFeed starts the reader goroutine for f consuming read. The reader
+// applies adjacent dedup and then reorder restoration — in that order,
+// because redelivered duplicates arrive adjacent to their original in the
+// raw stream, and the injector/transport displacement bound that sizes the
+// reorder buffer holds on the duplicate-free stream — and, when the feed
+// has no reopen factory, retries transient errors in place with backoff.
+func spawnFeed[T any](rc *pipeShared, f *feed[T], read func() (T, error)) {
+	ch := make(chan feedItem[T], pipelineChanCap)
+	f.ch = ch
+	f.met.up.Set(1)
+	rc.health.setStatus(f.name, FeedRunning, nil)
+	go func() {
+		defer close(ch)
+		if rc.dedup {
+			read = dedupReader(read, f)
+		}
+		if rc.reorder > 0 {
+			read = newOrdered(read, f.timeOf, rc.reorder, f.met.reordered).next
+		}
+		consec := 0
+		for {
+			rec, err := read()
+			if err == io.EOF {
+				f.met.up.Set(0)
+				rc.health.setStatus(f.name, FeedEOF, nil)
+				return
+			}
+			if err != nil {
+				// In-place retry: same source, next Read. Only when the
+				// merge loop cannot reopen the feed instead.
+				if f.open == nil && rc.retry.IsTransient(err) && consec < rc.retry.MaxRetries {
+					consec++
+					f.met.retries.Inc()
+					rc.health.noteRetry(f.name, err)
+					if !sleepOrStop(rc.stop, rc.retry.backoffFor(consec)) {
+						return
+					}
+					continue
+				}
+				select {
+				case ch <- feedItem[T]{err: err}:
+				case <-rc.stop:
+				}
+				return
+			}
+			if consec > 0 {
+				// The in-place retry worked: the episode is over, its
+				// budget refunds, and the fault counts as absorbed.
+				consec = 0
+				f.met.absorbed.Inc()
+				rc.health.noteAbsorbed(f.name)
+				rc.health.setStatus(f.name, FeedRunning, nil)
+			}
+			select {
+			case ch <- feedItem[T]{rec: rec}:
+			case <-rc.stop:
+				return
+			}
+		}
+	}()
+}
+
+// fill receives the next item for f unless one is already pending. It
+// returns errPipelineCancelled when ctx fires, or the feed's raw error for
+// the supervisor to classify.
+func fill[T any](rc *pipeShared, f *feed[T]) error {
+	if f.ch == nil || f.have {
+		return nil
+	}
+	var it feedItem[T]
+	var ok bool
+	select {
+	case it, ok = <-f.ch:
+	default:
+		// Empty buffer: the merge loop is stalling on the decoder.
+		// Timing only this path keeps time.Now off the fast path.
+		stall := time.Now()
+		select {
+		case it, ok = <-f.ch:
+		case <-rc.done:
+			metPipeStall.Observe(time.Since(stall).Seconds())
+			return errPipelineCancelled
+		}
+		metPipeStall.Observe(time.Since(stall).Seconds())
+	}
+	if !ok {
+		f.ch = nil
+		return nil
+	}
+	f.queue.Set(int64(len(f.ch)))
+	if it.err != nil {
+		f.errs.Inc()
+		return it.err
+	}
+	f.pending, f.have = it.rec, true
+	return nil
+}
+
+// handleFeedErr decides a failing feed's fate: reopen window-aligned when
+// a factory and budget remain, otherwise declare it dead. It reports
+// whether the run continues; a false return carries the fatal error.
+func handleFeedErr[T any](rc *pipeShared, f *feed[T], ferr error, resume int64) (bool, error) {
+	for f.open != nil && rc.retry.IsTransient(ferr) && f.reopens < rc.retry.MaxRetries {
+		f.reopens++
+		f.met.retries.Inc()
+		rc.health.noteRetry(f.name, ferr)
+		if !sleepOrStop(rc.done, rc.retry.backoffFor(f.reopens)) {
+			return false, errPipelineCancelled
+		}
+		read, oerr := f.open(resume)
+		if oerr != nil {
+			ferr = oerr
+			continue
+		}
+		// Resume from the last completed window: the reopened stream
+		// re-covers the open window, and the records already ingested
+		// (winItems) are skipped as they re-arrive. The stale pending
+		// record is discarded for the same reason — it will re-arrive.
+		f.have = false
+		if len(f.winItems) == 0 {
+			f.replay = nil
+			f.reopens = 0
+			f.met.absorbed.Inc()
+			rc.health.noteAbsorbed(f.name)
+		} else {
+			f.replay = append(f.replay[:0:0], f.winItems...)
+			f.replayIdx = 0
+		}
+		spawnFeed(rc, f, read)
+		rc.health.noteResume(f.name, resume)
+		return true, nil
+	}
+	f.met.dead.Inc()
+	f.met.up.Set(0)
+	f.dead = true
+	f.deadErr = fmt.Errorf("rrr: %s: %w", f.errWrap, ferr)
+	f.ch = nil
+	f.have = false
+	rc.health.setStatus(f.name, FeedDead, ferr)
+	if rc.retry.ContinueOnDeadFeed {
+		return true, nil
+	}
+	return false, f.deadErr
+}
+
+// consumeReplay reports whether rec is a replayed copy of an
+// already-ingested record and should be skipped. Replay matching is
+// positional: the reopened stream must re-deliver the open window's
+// records verbatim and in order; on the first mismatch matching stops and
+// everything from there on is ingested (divergence is counted, not fatal).
+func (f *feed[T]) consumeReplay(rc *pipeShared, rec T) bool {
+	if f.replay == nil {
+		return false
+	}
+	if f.equal(rec, f.replay[f.replayIdx]) {
+		f.replayIdx++
+		f.met.replayed.Inc()
+		rc.health.noteReplayed(f.name)
+		if f.replayIdx == len(f.replay) {
+			f.replay = nil
+			f.reopens = 0
+			f.met.absorbed.Inc()
+			rc.health.noteAbsorbed(f.name)
+		}
+		return true
+	}
+	f.replay = nil
+	rc.health.noteDiverged(f.name)
+	return false
+}
+
+func updateEqual(a, b Update) bool {
+	return a.Time == b.Time && a.PeerIP == b.PeerIP && a.PeerAS == b.PeerAS &&
+		a.Type == b.Type && a.Prefix == b.Prefix && a.MED == b.MED &&
+		a.ASPath.Equal(b.ASPath) && a.Communities.Equal(b.Communities)
+}
+
+func traceEqual(a, b *Traceroute) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.MsmID != b.MsmID || a.ProbeID != b.ProbeID || a.Time != b.Time ||
+		a.Src != b.Src || a.Dst != b.Dst || a.Reached != b.Reached ||
+		len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pipeline drives a Monitor from a BGP feed and a public-traceroute feed
+// with the historical semantics: any feed error is terminal (after
+// draining the open window). It is RunPipeline with a zero RetryPolicy;
+// see PipelineConfig for the self-healing knobs.
+func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces TraceSource, sink func(Signal)) error {
+	return RunPipeline(ctx, m, PipelineConfig{Updates: updates, Traces: traces, Sink: sink})
+}
+
+// RunPipeline drives a Monitor from a BGP feed and a public-traceroute
+// feed: the two time-ordered streams are interleaved by timestamp, windows
+// close automatically at each WindowSec boundary, and every staleness
+// prediction signal is delivered to Sink as it is generated. RunPipeline
+// returns when both feeds are exhausted (closing the final window), when
+// ctx is cancelled, or when a feed failure is not recoverable under the
+// configured RetryPolicy; in every case the currently-open window is
+// closed on the way out, so buffered observations always produce their
+// signals.
 //
 // Each source is decoded on its own goroutine feeding a bounded channel,
 // so MRT parsing and archive I/O overlap signal processing while
 // backpressure keeps memory bounded. Items are still consumed in merged
 // time order, so the Monitor sees exactly the stream a serial loop would
-// produce. On early return (error or cancellation) the reader goroutines
-// are told to stop; one blocked inside a source Read call exits after that
-// call returns.
+// produce.
+//
+// Failure handling is per feed. A transient error (RetryPolicy.
+// IsTransient) consumes one unit of retry budget: without an Open factory
+// the reader retries the same source in place after an exponential
+// backoff; with one, the supervisor reopens the feed at the open window's
+// start time and skips the records it already ingested as they re-arrive,
+// so recovery neither duplicates nor drops signals. Context cancellation
+// preempts any backoff sleep. A feed that exhausts its budget (or fails
+// permanently) is declared dead: fatal by default, or — with
+// ContinueOnDeadFeed — the run degrades to the surviving feed and the
+// dead feed's error is reported only at the end (and via Health/metrics
+// immediately).
 //
 // Cancellation is honored even while both reader goroutines are blocked
 // inside Read (a live feed waiting for its next item): the merge loop
@@ -111,72 +609,96 @@ type traceItem struct {
 // observations as final signals to sink — before returning ctx.Err(), so a
 // daemon's graceful shutdown (cancel → drain → final window close →
 // snapshot) loses nothing that was already observed.
-//
-// This is the integration shape of a production deployment: collector
-// dumps and traceroute archives stream in while the monitor flags stale
-// corpus entries.
-func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces TraceSource, sink func(Signal)) error {
-	stop := make(chan struct{})
-	defer close(stop)
-
-	var uch chan updateItem
-	if updates != nil {
-		uch = make(chan updateItem, pipelineChanCap)
-		go func() {
-			defer close(uch)
-			for {
-				u, err := updates.Read()
-				if err == io.EOF {
-					return
-				}
-				select {
-				case uch <- updateItem{u: u, err: err}:
-				case <-stop:
-					return
-				}
-				if err != nil {
-					return
-				}
-			}
-		}()
+func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
+	rc := &pipeShared{
+		stop:    make(chan struct{}),
+		retry:   cfg.Retry.withDefaults(),
+		reorder: cfg.ReorderWindow,
+		dedup:   cfg.DedupAdjacent,
+		health:  cfg.Health,
 	}
-	var tch chan traceItem
-	if traces != nil {
-		tch = make(chan traceItem, pipelineChanCap)
-		go func() {
-			defer close(tch)
-			for {
-				t, err := traces.Read()
-				if err == io.EOF {
-					return
-				}
-				select {
-				case tch <- traceItem{t: t, err: err}:
-				case <-stop:
-					return
-				}
-				if err != nil {
-					return
-				}
+	defer close(rc.stop)
+	// done is nil (blocks forever) when no context is supplied.
+	if ctx != nil {
+		rc.done = ctx.Done()
+	}
+
+	uf := &feed[Update]{
+		name: "bgp", errWrap: "bgp feed",
+		timeOf: func(u Update) int64 { return u.Time },
+		equal:  updateEqual,
+		met:    metFeedBGP, queue: metPipeUpdateQueue, errs: metPipeErrBGP,
+	}
+	if cfg.OpenUpdates != nil {
+		uf.open = func(since int64) (func() (Update, error), error) {
+			s, err := cfg.OpenUpdates(since)
+			if err != nil {
+				return nil, err
 			}
-		}()
+			return s.Read, nil
+		}
+	}
+	tf := &feed[*Traceroute]{
+		name: "traceroute", errWrap: "traceroute feed",
+		timeOf: func(t *Traceroute) int64 { return t.Time },
+		equal:  traceEqual,
+		met:    metFeedTrace, queue: metPipeTraceQueue, errs: metPipeErrTrace,
+	}
+	if cfg.OpenTraces != nil {
+		tf.open = func(since int64) (func() (*Traceroute, error), error) {
+			s, err := cfg.OpenTraces(since)
+			if err != nil {
+				return nil, err
+			}
+			return s.Read, nil
+		}
+	}
+
+	switch {
+	case cfg.Updates != nil:
+		spawnFeed(rc, uf, cfg.Updates.Read)
+	case uf.open != nil:
+		read, err := uf.open(ResumeAll)
+		if err != nil {
+			if ok, ferr := handleFeedErr(rc, uf, err, ResumeAll); !ok {
+				if ferr == errPipelineCancelled && ctx != nil {
+					return ctx.Err()
+				}
+				return ferr
+			}
+		} else {
+			spawnFeed(rc, uf, read)
+		}
+	}
+	switch {
+	case cfg.Traces != nil:
+		spawnFeed(rc, tf, cfg.Traces.Read)
+	case tf.open != nil:
+		read, err := tf.open(ResumeAll)
+		if err != nil {
+			if ok, ferr := handleFeedErr(rc, tf, err, ResumeAll); !ok {
+				if ferr == errPipelineCancelled && ctx != nil {
+					return ctx.Err()
+				}
+				return ferr
+			}
+		} else {
+			spawnFeed(rc, tf, read)
+		}
 	}
 
 	var (
-		pendingU Update
-		haveU    bool
-		pendingT *Traceroute
-		window   = m.WindowSec()
-		curIdx   int64
-		started  bool
+		window  = m.WindowSec()
+		curIdx  int64
+		started bool
 	)
 
 	emit := func(sigs []Signal) {
-		if sink == nil {
+		if cfg.Sink == nil {
 			return
 		}
 		for _, s := range sigs {
-			sink(s)
+			cfg.Sink(s)
 		}
 	}
 	closeWin := func(ws int64) {
@@ -194,16 +716,27 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 			curIdx = idx
 			return
 		}
-		for ; curIdx < idx; curIdx++ {
-			closeWin(curIdx * window)
+		if curIdx < idx {
+			for ; curIdx < idx; curIdx++ {
+				closeWin(curIdx * window)
+			}
+			// A new window opened: everything ingested before it is
+			// behind a completed boundary and will never be replayed.
+			uf.winItems = uf.winItems[:0]
+			tf.winItems = tf.winItems[:0]
 		}
 	}
-
-	// done is nil (blocks forever) when no context is supplied.
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
+	// resumePoint is where a reopened feed must restart: the open
+	// window's start (everything before it was delivered as final
+	// signals when the window closed), or the stream's beginning before
+	// any record was ingested.
+	resumePoint := func() int64 {
+		if !started {
+			return ResumeAll
+		}
+		return curIdx * window
 	}
+
 	// finish closes the currently-open window on the way out of a
 	// cancelled or feed-error run, so already-ingested observations still
 	// produce their signals (graceful-shutdown drain); the feed-error path
@@ -216,69 +749,6 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 		return err
 	}
 
-	fillU := func() error {
-		if uch == nil || haveU {
-			return nil
-		}
-		var it updateItem
-		var ok bool
-		select {
-		case it, ok = <-uch:
-		default:
-			// Empty buffer: the merge loop is stalling on the decoder.
-			// Timing only this path keeps time.Now off the fast path.
-			stall := time.Now()
-			select {
-			case it, ok = <-uch:
-			case <-done:
-				metPipeStall.Observe(time.Since(stall).Seconds())
-				return errPipelineCancelled
-			}
-			metPipeStall.Observe(time.Since(stall).Seconds())
-		}
-		if !ok {
-			uch = nil
-			return nil
-		}
-		metPipeUpdateQueue.Set(int64(len(uch)))
-		if it.err != nil {
-			metPipeErrBGP.Inc()
-			return fmt.Errorf("rrr: bgp feed: %w", it.err)
-		}
-		pendingU, haveU = it.u, true
-		return nil
-	}
-	fillT := func() error {
-		if tch == nil || pendingT != nil {
-			return nil
-		}
-		var it traceItem
-		var ok bool
-		select {
-		case it, ok = <-tch:
-		default:
-			stall := time.Now()
-			select {
-			case it, ok = <-tch:
-			case <-done:
-				metPipeStall.Observe(time.Since(stall).Seconds())
-				return errPipelineCancelled
-			}
-			metPipeStall.Observe(time.Since(stall).Seconds())
-		}
-		if !ok {
-			tch = nil
-			return nil
-		}
-		metPipeTraceQueue.Set(int64(len(tch)))
-		if it.err != nil {
-			metPipeErrTrace.Inc()
-			return fmt.Errorf("rrr: traceroute feed: %w", it.err)
-		}
-		pendingT = it.t
-		return nil
-	}
-
 	for {
 		if ctx != nil {
 			select {
@@ -287,35 +757,60 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 			default:
 			}
 		}
-		if err := fillU(); err != nil {
+		if err := fill(rc, uf); err != nil {
 			if err == errPipelineCancelled {
 				return finish(ctx.Err())
 			}
-			return finish(err)
+			ok, ferr := handleFeedErr(rc, uf, err, resumePoint())
+			if !ok {
+				if ferr == errPipelineCancelled {
+					return finish(ctx.Err())
+				}
+				return finish(ferr)
+			}
+			continue
 		}
-		if err := fillT(); err != nil {
+		if err := fill(rc, tf); err != nil {
 			if err == errPipelineCancelled {
 				return finish(ctx.Err())
 			}
-			return finish(err)
+			ok, ferr := handleFeedErr(rc, tf, err, resumePoint())
+			if !ok {
+				if ferr == errPipelineCancelled {
+					return finish(ctx.Err())
+				}
+				return finish(ferr)
+			}
+			continue
 		}
 		switch {
-		case haveU && (pendingT == nil || pendingU.Time <= pendingT.Time):
-			advanceTo(pendingU.Time)
-			m.ObserveBGP(pendingU)
+		case uf.have && (!tf.have || uf.pending.Time <= tf.pending.Time):
+			rec := uf.pending
+			uf.have = false
+			if uf.consumeReplay(rc, rec) {
+				continue
+			}
+			advanceTo(rec.Time)
+			m.ObserveBGP(rec)
+			uf.winItems = append(uf.winItems, rec)
 			metPipeUpdates.Inc()
-			haveU = false
-		case pendingT != nil:
-			advanceTo(pendingT.Time)
-			m.ObservePublic(pendingT)
+		case tf.have:
+			rec := tf.pending
+			tf.have = false
+			if tf.consumeReplay(rc, rec) {
+				continue
+			}
+			advanceTo(rec.Time)
+			m.ObservePublic(rec)
+			tf.winItems = append(tf.winItems, rec)
 			metPipeTraces.Inc()
-			pendingT = nil
 		default:
-			// Both feeds exhausted: close the final window.
+			// Both feeds exhausted (or dead): close the final window and
+			// surface any deferred dead-feed errors.
 			if started {
 				closeWin(curIdx * window)
 			}
-			return nil
+			return errors.Join(uf.deadErr, tf.deadErr)
 		}
 	}
 }
