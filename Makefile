@@ -1,8 +1,14 @@
 GO ?= go
 FUZZTIME ?= 10s
-FUZZ_TARGETS := FuzzMRTReader FuzzBinaryReader FuzzTextReader FuzzParsePath FuzzParseCommunity
+FUZZ_TARGETS := \
+	internal/bgp:FuzzMRTReader \
+	internal/bgp:FuzzBinaryReader \
+	internal/bgp:FuzzTextReader \
+	internal/bgp:FuzzParsePath \
+	internal/bgp:FuzzParseCommunity \
+	internal/wal:FuzzWALReader
 
-.PHONY: build test vet race bench bench-json fuzz verify
+.PHONY: build test vet race bench bench-json fuzz crashtest verify
 
 build:
 	$(GO) build ./...
@@ -27,16 +33,23 @@ bench:
 bench-json:
 	$(GO) run ./cmd/rrrbench -only enginebench,servebench -benchout BENCH_pr3.json
 
-# Short fuzz pass over every parser entry point that consumes untrusted
-# bytes (MRT, binary, and text codecs; path and community parsers). Each
-# target gets FUZZTIME of coverage-guided input on top of its checked-in
-# seed corpus under internal/bgp/testdata/fuzz/. Go allows one -fuzz
+# Short fuzz pass over every entry point that consumes untrusted bytes:
+# the BGP parsers (MRT, binary, and text codecs; path and community
+# parsers) and the WAL segment reader. Each pkg:Target entry gets FUZZTIME
+# of coverage-guided input on top of its seed corpus. Go allows one -fuzz
 # target per invocation, hence the loop.
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/bgp -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+		pkg=$${t%%:*}; tgt=$${t##*:}; \
+		echo "fuzz $$pkg $$tgt ($(FUZZTIME))"; \
+		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$tgt$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+
+# Crash-torture harness in short mode: seeded crash points across all
+# three fsync policies, each proving the recovered daemon byte-identical
+# to an uninterrupted run. The full 21-point sweep runs without -short.
+crashtest:
+	$(GO) test ./internal/wal -run TestCrashTorture -short -count=1 -v
 
 # Tier-1 verification plus vet and the race pass. The server tests scrape
 # GET /metrics (format, layer coverage, concurrent-scrape race-cleanliness).

@@ -7,6 +7,8 @@
 //	rrrd -pace 100ms -v                   # real-time-ish pacing, log signals
 //	rrrd -snapshot /tmp/rrr.snap          # snapshot on shutdown (and on demand)
 //	rrrd -snapshot /tmp/rrr.snap -restore # restart from the snapshot
+//	rrrd -wal-dir /tmp/rrr.wal            # crash-consistent: log every record
+//	rrrd -wal-dir /tmp/rrr.wal -wal-fsync record   # strictest durability
 //	rrrd -debug-addr :6060                # pprof + /metrics on a side listener
 //
 // Try it:
@@ -17,10 +19,19 @@
 //	curl -N localhost:8080/v1/signals        # SSE stream
 //	curl -d '{"budget":20}' localhost:8080/v1/refresh/plan
 //	curl localhost:8080/metrics              # Prometheus text exposition
+//	curl localhost:8080/readyz               # 503 until WAL recovery completes
+//
+// Startup with -wal-dir is serve-early: the HTTP listener comes up
+// immediately (liveness green, readiness 503), the snapshot restores, the
+// WAL replays every record past the snapshot's watermark through the
+// recovery path, segments the snapshot covers are compacted away, and
+// only then does /readyz go 200 and the pipeline resume ingesting — from
+// the open window, skipping records the replay already ingested.
 //
 // Graceful shutdown (SIGINT/SIGTERM): cancel the pipeline (which drains
 // buffered observations and closes the open window), write the snapshot if
-// -snapshot is set, then stop the HTTP listener.
+// -snapshot is set, compact the WAL behind it, then stop the HTTP
+// listener.
 package main
 
 import (
@@ -40,55 +51,82 @@ import (
 	"rrr/internal/experiments"
 	"rrr/internal/obs"
 	"rrr/internal/server"
+	"rrr/internal/wal"
 )
 
+// The WAL must keep satisfying the pipeline's tee interface.
+var _ rrr.RecordLog = (*wal.WAL)(nil)
+
+// options collects the daemon's flag-configured knobs.
+type options struct {
+	addr        string
+	scale       string
+	days        int
+	seed        int64
+	shards      int
+	pace        time.Duration
+	snapshot    string
+	restore     bool
+	walDir      string
+	walFsync    string
+	walSegBytes int64
+	ring        int
+	debugAddr   string
+	feedRetries int
+	feedBackoff time.Duration
+	verbose     bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	scale := flag.String("scale", "quick", "feed scale: quick or paper")
-	days := flag.Int("days", 0, "virtual days of feed before EOF (0 keeps the scale default)")
-	seed := flag.Int64("seed", 0, "simulation seed (0 keeps the scale default)")
-	shards := flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
-	pace := flag.Duration("pace", 0, "wall-clock delay per 15-min virtual window (0 = full speed)")
-	snapshot := flag.String("snapshot", "", "snapshot file path (written on shutdown and POST /v1/snapshot)")
-	restore := flag.Bool("restore", false, "restore corpus and signals from -snapshot at startup")
-	ring := flag.Int("ring", server.DefaultRingSize, "per-SSE-subscriber signal buffer")
-	debugAddr := flag.String("debug-addr", "", "optional debug listen address serving /metrics and /debug/pprof/*")
-	feedRetries := flag.Int("feed-retries", 5, "transient feed failures tolerated per window before a feed is declared dead")
-	feedBackoff := flag.Duration("feed-backoff", 500*time.Millisecond, "initial retry backoff after a feed failure (doubles per attempt)")
-	verbose := flag.Bool("v", false, "log every signal")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.StringVar(&o.scale, "scale", "quick", "feed scale: quick or paper")
+	flag.IntVar(&o.days, "days", 0, "virtual days of feed before EOF (0 keeps the scale default)")
+	flag.Int64Var(&o.seed, "seed", 0, "simulation seed (0 keeps the scale default)")
+	flag.IntVar(&o.shards, "shards", 0, "engine shards (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.pace, "pace", 0, "wall-clock delay per 15-min virtual window (0 = full speed)")
+	flag.StringVar(&o.snapshot, "snapshot", "", "snapshot file path (written on shutdown and POST /v1/snapshot)")
+	flag.BoolVar(&o.restore, "restore", false, "restore corpus and signals from -snapshot at startup")
+	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead log directory (empty disables the WAL)")
+	flag.StringVar(&o.walFsync, "wal-fsync", "window", "WAL durability: record, window, or a sync interval like 2s")
+	flag.Int64Var(&o.walSegBytes, "wal-segment-bytes", 8<<20, "WAL segment rotation size")
+	flag.IntVar(&o.ring, "ring", server.DefaultRingSize, "per-SSE-subscriber signal buffer")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional debug listen address serving /metrics and /debug/pprof/*")
+	flag.IntVar(&o.feedRetries, "feed-retries", 5, "transient feed failures tolerated per window before a feed is declared dead")
+	flag.DurationVar(&o.feedBackoff, "feed-backoff", 500*time.Millisecond, "initial retry backoff after a feed failure (doubles per attempt)")
+	flag.BoolVar(&o.verbose, "v", false, "log every signal")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *days, *seed, *shards, *pace, *snapshot, *restore, *ring, *debugAddr, *feedRetries, *feedBackoff, *verbose); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, scale string, days int, seed int64, shards int, pace time.Duration,
-	snapshot string, restore bool, ring int, debugAddr string, feedRetries int, feedBackoff time.Duration, verbose bool) error {
+func run(o options) error {
 	var sc experiments.Scale
-	switch scale {
+	switch o.scale {
 	case "quick":
 		sc = experiments.QuickScale()
 	case "paper":
 		sc = experiments.PaperScale()
 	default:
-		return fmt.Errorf("unknown scale %q", scale)
+		return fmt.Errorf("unknown scale %q", o.scale)
 	}
-	if days > 0 {
-		sc.Days = days
+	if o.days > 0 {
+		sc.Days = o.days
 	}
-	if seed != 0 {
-		sc.SimCfg.Seed = seed
+	if o.seed != 0 {
+		sc.SimCfg.Seed = o.seed
 	}
-	sc.Shards = shards
+	sc.Shards = o.shards
 
-	log.Printf("rrrd: building %s-scale environment (seed %d)", scale, sc.SimCfg.Seed)
-	env := experiments.NewDaemonEnv(sc, pace)
+	log.Printf("rrrd: building %s-scale environment (seed %d)", o.scale, sc.SimCfg.Seed)
+	env := experiments.NewDaemonEnv(sc, o.pace)
 
 	cfg := rrr.DefaultConfig()
 	cfg.WindowSec = sc.WindowSec
-	cfg.Shards = shards
+	cfg.Shards = o.shards
 	mon, err := rrr.NewMonitor(rrr.Options{
 		Config:     cfg,
 		Mapper:     env.Mapper,
@@ -101,21 +139,64 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 		return err
 	}
 
-	// Prime the RIB view before streaming (table dump first).
+	// Prime the RIB view before streaming (table dump first). Priming and
+	// corpus tracking are deterministic from flags, so the WAL does not
+	// log them: recovery re-primes identically and replays only feed
+	// records.
 	for _, u := range env.Dump {
 		mon.ObserveBGP(u)
 	}
 
-	if restore {
-		if snapshot == "" {
-			return errors.New("-restore needs -snapshot")
-		}
-		info, err := server.RestoreSnapshot(snapshot, mon)
+	var w *wal.WAL
+	if o.walDir != "" {
+		policy, interval, err := wal.ParseFsyncPolicy(o.walFsync)
 		if err != nil {
 			return err
 		}
+		w, err = wal.Open(wal.Options{
+			Dir:           o.walDir,
+			SegmentBytes:  o.walSegBytes,
+			Fsync:         policy,
+			FsyncInterval: interval,
+		})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+
+	health := rrr.NewPipelineHealth()
+	srvCfg := server.Config{SnapshotPath: o.snapshot, RingSize: o.ring, Health: health}
+	if w != nil {
+		srvCfg.WALStatus = w.Status
+	}
+	srv := server.New(mon, srvCfg)
+
+	// Serve early: liveness comes up before recovery so orchestrators see
+	// the process alive, while /readyz answers 503 until the monitor's
+	// state is complete.
+	srv.SetReady(false)
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	httpDone := make(chan error, 1)
+	go func() {
+		log.Printf("rrrd: serving on %s (readiness gated on recovery)", o.addr)
+		httpDone <- httpSrv.ListenAndServe()
+	}()
+
+	// Phase 1: snapshot restore sets the window clock (the WAL compaction
+	// watermark); without -restore the corpus is tracked fresh.
+	watermark := int64(rrr.ResumeAll)
+	if o.restore {
+		if o.snapshot == "" {
+			return errors.New("-restore needs -snapshot")
+		}
+		info, err := server.RestoreSnapshot(o.snapshot, mon)
+		if err != nil {
+			return err
+		}
+		watermark = info.Watermark
 		log.Printf("rrrd: restored %d corpus entries, %d active signals from %s",
-			info.Entries, info.Signals, snapshot)
+			info.Entries, info.Signals, o.snapshot)
 	} else {
 		tracked, skipped := 0, 0
 		for _, tr := range env.Corpus {
@@ -128,40 +209,87 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 		log.Printf("rrrd: tracking %d corpus pairs (%d traces discarded)", tracked, skipped)
 	}
 
-	health := rrr.NewPipelineHealth()
-	srv := server.New(mon, server.Config{SnapshotPath: snapshot, RingSize: ring, Health: health})
+	// Phase 2: WAL replay rebuilds everything ingested after the
+	// snapshot, emitting replayed windows' signals into the hub (fresh
+	// subscribers arrive later; the hub never blocks).
+	var resume *rrr.ResumeState
+	if w != nil {
+		rec := rrr.NewRecovery(mon, srv.Publish)
+		info, err := w.Replay(func(r wal.Record) error {
+			switch {
+			case r.Update != nil:
+				rec.ObserveUpdate(*r.Update)
+			case r.Trace != nil:
+				rec.ObserveTrace(r.Trace)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("rrrd: wal recovery: %w", err)
+		}
+		var stats rrr.RecoveryStats
+		resume, stats = rec.Finish()
+		log.Printf("rrrd: wal replayed %d records from %d segments (%d updates, %d traces, %d pre-snapshot skipped, %d windows closed, truncated tail: %v)",
+			info.Records, info.Segments, stats.Updates, stats.Traces, stats.Skipped, stats.Windows, info.TruncatedTail)
+		if watermark != rrr.ResumeAll {
+			if n, err := w.Compact(watermark); err != nil {
+				log.Printf("rrrd: wal compact: %v", err)
+			} else if n > 0 {
+				log.Printf("rrrd: wal compacted %d segments behind snapshot watermark %d", n, watermark)
+			}
+		}
+	}
+	srv.SetReady(true)
 
 	// One writer: the pipeline goroutine. Its sink tees into the SSE hub
 	// (never blocks) and, optionally, the log.
 	sink := srv.Publish
-	if verbose {
+	if o.verbose {
 		sink = rrr.Tee(srv.Publish, func(s rrr.Signal) { log.Printf("signal: %s", s) })
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The simulated feeds regenerate deterministically from their
+	// beginning; after a recovery replay the pipeline resumes at the open
+	// window, so skip everything before it (the replay ingested the open
+	// window's prefix, and positional replay matching skips exactly that
+	// prefix as the feed re-delivers it).
+	var updates rrr.UpdateSource = env.Updates
+	var traces rrr.TraceSource = env.Traces
+	if resume != nil && resume.WindowStart != rrr.ResumeAll {
+		updates = rrr.SkipUpdatesBefore(updates, resume.WindowStart)
+		traces = rrr.SkipTracesBefore(traces, resume.WindowStart)
+	}
+
+	pipeCfg := rrr.PipelineConfig{
+		Updates: updates,
+		Traces:  traces,
+		Sink:    sink,
+		Retry: rrr.RetryPolicy{
+			MaxRetries:         o.feedRetries,
+			Backoff:            o.feedBackoff,
+			ContinueOnDeadFeed: true,
+		},
+		DedupAdjacent: true,
+		Health:        health,
+		Resume:        resume,
+	}
+	if w != nil {
+		pipeCfg.WAL = w
+	}
 	pipeDone := make(chan error, 1)
 	go func() {
 		// Degrade gracefully: transient feed failures retry with backoff,
 		// and a feed that dies anyway stops silently while the other feed
 		// and the query API keep running. Per-feed health shows up in
 		// /v1/stats and the retry counters in /metrics.
-		pipeDone <- rrr.RunPipeline(ctx, mon, rrr.PipelineConfig{
-			Updates: env.Updates,
-			Traces:  env.Traces,
-			Sink:    sink,
-			Retry: rrr.RetryPolicy{
-				MaxRetries:         feedRetries,
-				Backoff:            feedBackoff,
-				ContinueOnDeadFeed: true,
-			},
-			DedupAdjacent: true,
-			Health:        health,
-		})
+		pipeDone <- rrr.RunPipeline(ctx, mon, pipeCfg)
 	}()
 
 	// Optional debug listener: pprof plus a second /metrics. Kept off the
 	// main mux so profiling endpoints are never exposed on the query port.
-	if debugAddr != "" {
+	if o.debugAddr != "" {
 		dbg := http.NewServeMux()
 		dbg.Handle("GET /metrics", obs.Default.Handler())
 		dbg.HandleFunc("/debug/pprof/", pprof.Index)
@@ -170,19 +298,12 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("rrrd: debug endpoints on %s (/metrics, /debug/pprof/)", debugAddr)
-			if err := http.ListenAndServe(debugAddr, dbg); err != nil {
+			log.Printf("rrrd: debug endpoints on %s (/metrics, /debug/pprof/)", o.debugAddr)
+			if err := http.ListenAndServe(o.debugAddr, dbg); err != nil {
 				log.Printf("rrrd: debug listener: %v", err)
 			}
 		}()
 	}
-
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
-	httpDone := make(chan error, 1)
-	go func() {
-		log.Printf("rrrd: serving on %s", addr)
-		httpDone <- httpSrv.ListenAndServe()
-	}()
 
 	// Run until a signal arrives or the HTTP listener fails. A finished
 	// feed (pipeDone with nil) keeps the daemon serving: consumers can
@@ -200,13 +321,20 @@ func run(addr, scale string, days int, seed int64, shards int, pace time.Duratio
 			if pipeErr != nil && !errors.Is(pipeErr, context.Canceled) {
 				log.Printf("rrrd: pipeline: %v", pipeErr)
 			}
-			if snapshot != "" {
-				info, err := server.WriteSnapshot(snapshot, mon)
+			if o.snapshot != "" {
+				info, err := server.WriteSnapshot(o.snapshot, mon)
 				if err != nil {
 					log.Printf("rrrd: snapshot: %v", err)
 				} else {
 					log.Printf("rrrd: snapshot: %d entries, %d signals, %d bytes -> %s",
-						info.Entries, info.Signals, info.Bytes, snapshot)
+						info.Entries, info.Signals, info.Bytes, o.snapshot)
+					if w != nil && info.Watermark != rrr.ResumeAll {
+						if n, err := w.Compact(info.Watermark); err != nil {
+							log.Printf("rrrd: wal compact: %v", err)
+						} else if n > 0 {
+							log.Printf("rrrd: wal compacted %d segments behind shutdown snapshot", n)
+						}
+					}
 				}
 			}
 			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

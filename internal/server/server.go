@@ -19,7 +19,8 @@
 //	POST /v1/refresh/record   fresh measurement -> change class + recalibration
 //	POST /v1/snapshot         write the restart snapshot to the configured path
 //	GET  /metrics             Prometheus text exposition of the obs.Default registry
-//	GET  /healthz             liveness
+//	GET  /healthz             liveness (always 200 while the process serves)
+//	GET  /readyz              readiness (503 until WAL recovery completes)
 package server
 
 import (
@@ -27,10 +28,12 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rrr"
 	"rrr/internal/obs"
+	"rrr/internal/wal"
 )
 
 // Config tunes the server.
@@ -50,6 +53,9 @@ type Config struct {
 	// keeps serving, and operators see which feed is down without
 	// scraping /metrics.
 	Health *rrr.PipelineHealth
+	// WALStatus, when set, surfaces the write-ahead log's state in
+	// GET /v1/stats (policy, segment count, records, bytes).
+	WALStatus func() wal.Status
 }
 
 // Server serves staleness queries from a Monitor.
@@ -58,6 +64,11 @@ type Server struct {
 	hub *Hub
 	cfg Config
 	mux *http.ServeMux
+	// ready gates GET /readyz: the daemon starts serving (liveness) while
+	// WAL recovery replays, and flips ready once the monitor's state is
+	// complete. Defaults to true so servers without a recovery phase are
+	// born ready.
+	ready atomic.Bool
 }
 
 // New wires the handlers. The Monitor may (and in a daemon, will) be fed
@@ -83,7 +94,23 @@ func New(mon *rrr.Monitor, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.ready.Store(true)
 	return s
+}
+
+// SetReady flips the /readyz gate. The daemon clears it before WAL
+// recovery (queries during replay see partial state and load balancers
+// should not route to it yet) and sets it once the replayed monitor is
+// current.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 }
 
 // Handler returns the HTTP handler tree.
@@ -266,6 +293,10 @@ type Stats struct {
 	// absorbed); absent when the server runs without an ingesting
 	// pipeline.
 	Feeds []rrr.FeedHealth `json:"feeds,omitempty"`
+	// WAL is the write-ahead log's state; absent without -wal-dir. Its
+	// fields are log-deterministic (same record sequence → same values),
+	// preserving the byte-for-byte restart guarantee above.
+	WAL *wal.Status `json:"wal,omitempty"`
 }
 
 func (s *Server) stats() Stats {
@@ -284,6 +315,10 @@ func (s *Server) stats() Stats {
 	st.RevokedSignals, st.RevokedPairEvents = s.mon.RevocationStats()
 	st.PrunedCommunities = s.mon.PrunedCommunities()
 	st.Feeds = s.cfg.Health.Snapshot() // nil-safe: nil Health yields no feeds
+	if s.cfg.WALStatus != nil {
+		ws := s.cfg.WALStatus()
+		st.WAL = &ws
+	}
 	return st
 }
 

@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"rrr/internal/bgp"
+	"rrr/internal/traceroute"
+)
+
+// On-disk format. A segment file is the 8-byte segment magic followed by
+// framed records:
+//
+//	length uint32  payload byte count (big endian; 0 is invalid)
+//	crc    uint32  CRC32C (Castagnoli) over the payload
+//	payload        kind uint8 + kind-specific body
+//
+// Kind 1 wraps one record of the internal/bgp framed binary codec; kind 2
+// is the traceroute body defined by encodeTrace below. The checksum covers
+// the payload only: a corrupt length field either fails the impossible-
+// length check or misaligns the next frame, whose checksum then fails, so
+// both cases surface as a corrupt record rather than silent garbage.
+const (
+	segMagic = "RRRWAL1\n"
+
+	kindUpdate byte = 1
+	kindTrace  byte = 2
+
+	frameHeaderLen = 8
+
+	// maxRecordBytes rejects impossible frame lengths before allocating:
+	// real records are tens to hundreds of bytes, so anything past 16 MiB
+	// is a corrupt length field.
+	maxRecordBytes = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged feed record; exactly one of Update/Trace is set.
+type Record struct {
+	Update *bgp.Update
+	Trace  *traceroute.Traceroute
+}
+
+// Time returns the record's feed timestamp.
+func (r Record) Time() int64 {
+	if r.Update != nil {
+		return r.Update.Time
+	}
+	if r.Trace != nil {
+		return r.Trace.Time
+	}
+	return 0
+}
+
+// encodeUpdate builds the kind-1 payload: the kind byte followed by one
+// bgp binary-codec record.
+func encodeUpdate(u bgp.Update) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte(kindUpdate)
+	bw := bgp.NewBinaryWriter(&b)
+	if err := bw.Write(u); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// encodeTrace builds the kind-2 payload:
+//
+//	msmID   int64, probeID int64, time int64
+//	src     uint32, dst uint32
+//	reached uint8
+//	nhops   uint16, then per hop: ip uint32, rtt float64 bits, ttl int32
+//
+// Big endian throughout, matching the bgp codec.
+func encodeTrace(t *traceroute.Traceroute) ([]byte, error) {
+	if t == nil {
+		return nil, errors.New("wal: nil traceroute")
+	}
+	if len(t.Hops) > 0xffff {
+		return nil, fmt.Errorf("wal: traceroute with %d hops exceeds codec limit", len(t.Hops))
+	}
+	b := make([]byte, 0, 36+16*len(t.Hops))
+	b = append(b, kindTrace)
+	b = binary.BigEndian.AppendUint64(b, uint64(t.MsmID))
+	b = binary.BigEndian.AppendUint64(b, uint64(int64(t.ProbeID)))
+	b = binary.BigEndian.AppendUint64(b, uint64(t.Time))
+	b = binary.BigEndian.AppendUint32(b, t.Src)
+	b = binary.BigEndian.AppendUint32(b, t.Dst)
+	if t.Reached {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(t.Hops)))
+	for _, h := range t.Hops {
+		b = binary.BigEndian.AppendUint32(b, h.IP)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(h.RTT))
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(h.TTL)))
+	}
+	return b, nil
+}
+
+// appendFrame frames payload (header + payload) onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodePayload parses one checksum-verified payload. Any leftover bytes
+// after the body are corruption (the checksum only proves the payload is
+// what the writer framed, not that the writer framed a whole record), so
+// exact consumption is enforced for both kinds.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, errors.New("wal: empty record payload")
+	}
+	switch p[0] {
+	case kindUpdate:
+		br := bgp.NewBinaryReader(bytes.NewReader(p[1:]))
+		u, err := br.Read()
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: decode update record: %w", err)
+		}
+		if _, err := br.Read(); err != io.EOF {
+			return Record{}, errors.New("wal: trailing bytes after update record")
+		}
+		return Record{Update: &u}, nil
+	case kindTrace:
+		t, err := decodeTrace(p[1:])
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Trace: t}, nil
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", p[0])
+	}
+}
+
+func decodeTrace(b []byte) (*traceroute.Traceroute, error) {
+	const fixed = 35 // 3×int64 + 2×uint32 + reached + nhops
+	if len(b) < fixed {
+		return nil, errors.New("wal: short traceroute record")
+	}
+	t := &traceroute.Traceroute{
+		MsmID:   int64(binary.BigEndian.Uint64(b[0:8])),
+		ProbeID: int(int64(binary.BigEndian.Uint64(b[8:16]))),
+		Time:    int64(binary.BigEndian.Uint64(b[16:24])),
+		Src:     binary.BigEndian.Uint32(b[24:28]),
+		Dst:     binary.BigEndian.Uint32(b[28:32]),
+	}
+	switch b[32] {
+	case 0:
+	case 1:
+		t.Reached = true
+	default:
+		return nil, fmt.Errorf("wal: bad reached flag %d", b[32])
+	}
+	nhops := int(binary.BigEndian.Uint16(b[33:35]))
+	if len(b) != fixed+16*nhops {
+		return nil, fmt.Errorf("wal: traceroute record length %d does not match %d hops", len(b), nhops)
+	}
+	if nhops > 0 {
+		t.Hops = make([]traceroute.Hop, nhops)
+		for i := range t.Hops {
+			off := fixed + 16*i
+			t.Hops[i] = traceroute.Hop{
+				IP:  binary.BigEndian.Uint32(b[off : off+4]),
+				RTT: math.Float64frombits(binary.BigEndian.Uint64(b[off+4 : off+12])),
+				TTL: int(int32(binary.BigEndian.Uint32(b[off+12 : off+16]))),
+			}
+		}
+	}
+	return t, nil
+}
+
+// segScan summarizes one segment pass.
+type segScan struct {
+	records uint64
+	maxTime int64
+	// goodLen is the byte offset just past the last intact record; a torn
+	// tail is truncated back to it.
+	goodLen int64
+	torn    bool
+	tornErr error
+}
+
+// scanSegment reads every intact record of one segment in order, invoking
+// fn for each. allowTorn (the log's final segment) turns a torn or corrupt
+// tail into a truncation point instead of an error: everything up to the
+// first bad byte is kept, the rest is the unsynced remains of a crash.
+// Mid-log segments get no such forgiveness — a bad record there means data
+// the log claimed durable is gone, which must fail recovery loudly.
+func scanSegment(r io.Reader, fn func(Record) error, allowTorn bool) (segScan, error) {
+	sc := segScan{maxTime: math.MinInt64}
+	torn := func(reason error) (segScan, error) {
+		if allowTorn {
+			sc.torn, sc.tornErr = true, reason
+			return sc, nil
+		}
+		return sc, reason
+	}
+	br := bufio.NewReaderSize(r, 64<<10)
+	magic := make([]byte, len(segMagic))
+	if n, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return torn(fmt.Errorf("wal: segment shorter than its magic (%d bytes)", n))
+		}
+		return sc, err
+	}
+	if string(magic) != segMagic {
+		return sc, fmt.Errorf("wal: bad segment magic %q", magic)
+	}
+	sc.goodLen = int64(len(segMagic))
+
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return sc, nil // clean frame boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				return torn(errors.New("wal: torn record header"))
+			}
+			return sc, err
+		}
+		plen := binary.BigEndian.Uint32(hdr[0:4])
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if plen == 0 || plen > maxRecordBytes {
+			return torn(fmt.Errorf("wal: impossible record length %d", plen))
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return torn(errors.New("wal: torn record payload"))
+			}
+			return sc, err
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return torn(errors.New("wal: record checksum mismatch"))
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return torn(err)
+		}
+		sc.records++
+		if t := rec.Time(); t > sc.maxTime {
+			sc.maxTime = t
+		}
+		sc.goodLen += int64(frameHeaderLen) + int64(plen)
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return sc, err
+			}
+		}
+	}
+}

@@ -88,6 +88,17 @@ func NewMonitor(opts Options) (*Monitor, error) {
 // WindowSec returns the signal-generation window duration.
 func (m *Monitor) WindowSec() int64 { return m.window }
 
+// WindowClock returns the currently open window's start time and whether
+// the clock is running at all (a window has been opened by CloseWindow,
+// Advance, or a restored snapshot). Recovery reads it as the snapshot
+// watermark: every record before openStart is already rolled up in the
+// restored counters and must not be replayed.
+func (m *Monitor) WindowClock() (openStart int64, opened bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur, m.opened
+}
+
 // noteObs tracks the earliest observation time so Advance can snap its
 // first window to the start of the feed instead of iterating from 0.
 func (m *Monitor) noteObs(t int64) {
@@ -418,17 +429,34 @@ func (m *Monitor) Snapshot() *MonitorSnapshot {
 // their snapshot values. The monitor must use the same services and
 // WindowSec as the one that snapshotted; restore onto a monitor that has
 // already tracked pairs or counted signals is not supported.
+//
+// Restore is all-or-nothing: every trace is validated and processed into
+// a scratch entry before any of them is committed, so a snapshot with one
+// bad trace (an AS-loop the snapshotting monitor's mapper did not see,
+// say) leaves the monitor exactly as it was rather than half-restored.
 func (m *Monitor) Restore(s *MonitorSnapshot) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if s.WindowSec != m.window {
 		return fmt.Errorf("rrr: snapshot window %ds does not match monitor window %ds", s.WindowSec, m.window)
 	}
+	entries := make([]*Entry, 0, len(s.Traces))
 	for _, tr := range s.Traces {
-		if err := m.trackLocked(tr); err != nil {
+		en, err := m.corp.Process(tr)
+		if err != nil {
 			return fmt.Errorf("rrr: restore %s: %w", tr.Key(), err)
 		}
+		entries = append(entries, en)
 	}
+	for _, en := range entries {
+		m.corp.Put(en)
+		if _, tracked := m.engine.Entry(en.Key); tracked {
+			m.engine.Reregister(en)
+		} else {
+			m.engine.AddCorpusEntry(en)
+		}
+	}
+	metMonTracked.Set(int64(m.corp.Len()))
 	m.engine.RestoreActive(s.Active)
 	m.cur, m.opened = s.Cur, s.Opened
 	m.firstObs, m.haveObs = s.FirstObs, s.HaveObs

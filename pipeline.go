@@ -179,6 +179,20 @@ type PipelineConfig struct {
 	// Health, when set, receives per-feed supervisor state for the
 	// serving layer; nil disables reporting.
 	Health *PipelineHealth
+
+	// WAL, when set, receives every ingested record (after replay
+	// skipping, before the Monitor observes it) plus window-close
+	// notifications. An append or window-sync failure is fatal to the
+	// run — continuing would let the monitor advance past records the
+	// log lost, breaking crash recovery's exactly-once guarantee.
+	WAL RecordLog
+
+	// Resume, when set, continues a run that a recovery replay (see
+	// Recovery) reconstructed: the window clock starts at
+	// Resume.WindowStart, the initial feed opens use it as their since
+	// point, and Resume's open-window records seed the positional replay
+	// lists so the reopened feeds' re-delivery of them is skipped.
+	Resume *ResumeState
 }
 
 // feedItem carries one decoded record or a terminal reader error.
@@ -609,6 +623,13 @@ func Pipeline(ctx context.Context, m *Monitor, updates UpdateSource, traces Trac
 // observations as final signals to sink — before returning ctx.Err(), so a
 // daemon's graceful shutdown (cancel → drain → final window close →
 // snapshot) loses nothing that was already observed.
+//
+// With a RecordLog (PipelineConfig.WAL) every ingested record is teed to
+// the log before the Monitor observes it, and every window close is
+// reported to the log, making the run crash-recoverable: Recovery replays
+// the log into a fresh Monitor and PipelineConfig.Resume continues the
+// open window with the same exactly-once replay matching a mid-run feed
+// reopen uses. Log failures are fatal to the run (see RecordLog).
 func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 	rc := &pipeShared{
 		stop:    make(chan struct{}),
@@ -654,13 +675,39 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 		}
 	}
 
+	var (
+		window  = m.WindowSec()
+		curIdx  int64
+		started bool
+	)
+	// A recovery resume continues the replayed run's open window: the
+	// clock starts there, the initial opens ask the feeds for records
+	// from that point, and the records the replay already ingested seed
+	// the positional skip lists — exactly the state a mid-run reopen
+	// would have left behind. (Direct Updates/Traces sources are the
+	// caller's to align, e.g. with SkipUpdatesBefore.)
+	startSince := int64(ResumeAll)
+	if cfg.Resume != nil && cfg.Resume.WindowStart != ResumeAll {
+		startSince = cfg.Resume.WindowStart
+		started = true
+		curIdx = floorDiv(startSince, window)
+		uf.winItems = append(uf.winItems, cfg.Resume.Updates...)
+		tf.winItems = append(tf.winItems, cfg.Resume.Traces...)
+		if len(cfg.Resume.Updates) > 0 {
+			uf.replay = append([]Update(nil), cfg.Resume.Updates...)
+		}
+		if len(cfg.Resume.Traces) > 0 {
+			tf.replay = append([]*Traceroute(nil), cfg.Resume.Traces...)
+		}
+	}
+
 	switch {
 	case cfg.Updates != nil:
 		spawnFeed(rc, uf, cfg.Updates.Read)
 	case uf.open != nil:
-		read, err := uf.open(ResumeAll)
+		read, err := uf.open(startSince)
 		if err != nil {
-			if ok, ferr := handleFeedErr(rc, uf, err, ResumeAll); !ok {
+			if ok, ferr := handleFeedErr(rc, uf, err, startSince); !ok {
 				if ferr == errPipelineCancelled && ctx != nil {
 					return ctx.Err()
 				}
@@ -674,9 +721,9 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 	case cfg.Traces != nil:
 		spawnFeed(rc, tf, cfg.Traces.Read)
 	case tf.open != nil:
-		read, err := tf.open(ResumeAll)
+		read, err := tf.open(startSince)
 		if err != nil {
-			if ok, ferr := handleFeedErr(rc, tf, err, ResumeAll); !ok {
+			if ok, ferr := handleFeedErr(rc, tf, err, startSince); !ok {
 				if ferr == errPipelineCancelled && ctx != nil {
 					return ctx.Err()
 				}
@@ -687,12 +734,6 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 		}
 	}
 
-	var (
-		window  = m.WindowSec()
-		curIdx  int64
-		started bool
-	)
-
 	emit := func(sigs []Signal) {
 		if cfg.Sink == nil {
 			return
@@ -701,9 +742,19 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 			cfg.Sink(s)
 		}
 	}
+	// A WindowClosed failure (an fsync that did not happen under the
+	// on-window-close policy) is recorded here and surfaced at the top of
+	// the merge loop: closeWin is also called from the finish drain, where
+	// there is no caller left to fail.
+	var walErr error
 	closeWin := func(ws int64) {
 		emit(m.CloseWindow(ws))
 		metPipeWindows.Inc()
+		if cfg.WAL != nil && walErr == nil {
+			if err := cfg.WAL.WindowClosed(ws); err != nil {
+				walErr = fmt.Errorf("rrr: wal window sync: %w", err)
+			}
+		}
 	}
 	// Window indices use floor division so a pre-epoch (negative)
 	// timestamp lands in the window containing it, matching
@@ -750,6 +801,9 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 	}
 
 	for {
+		if walErr != nil {
+			return finish(walErr)
+		}
 		if ctx != nil {
 			select {
 			case <-ctx.Done():
@@ -790,6 +844,14 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 			if uf.consumeReplay(rc, rec) {
 				continue
 			}
+			// Tee to the WAL before the monitor sees the record: a failed
+			// append leaves the record un-ingested, so the run dies with
+			// monitor and log still agreeing.
+			if cfg.WAL != nil {
+				if err := cfg.WAL.AppendUpdate(rec); err != nil {
+					return finish(fmt.Errorf("rrr: wal append (bgp): %w", err))
+				}
+			}
 			advanceTo(rec.Time)
 			m.ObserveBGP(rec)
 			uf.winItems = append(uf.winItems, rec)
@@ -799,6 +861,11 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 			tf.have = false
 			if tf.consumeReplay(rc, rec) {
 				continue
+			}
+			if cfg.WAL != nil {
+				if err := cfg.WAL.AppendTrace(rec); err != nil {
+					return finish(fmt.Errorf("rrr: wal append (traceroute): %w", err))
+				}
 			}
 			advanceTo(rec.Time)
 			m.ObservePublic(rec)
@@ -810,7 +877,7 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 			if started {
 				closeWin(curIdx * window)
 			}
-			return errors.Join(uf.deadErr, tf.deadErr)
+			return errors.Join(uf.deadErr, tf.deadErr, walErr)
 		}
 	}
 }

@@ -1,0 +1,200 @@
+package rrr
+
+// RecordLog receives every record the pipeline ingests, in merged
+// ingestion order, before the record reaches the Monitor — plus window-
+// close notifications so an on-window-close durability policy knows when
+// to sync. *wal.WAL satisfies it (via the facade type aliases); a nil
+// PipelineConfig.WAL disables logging. Append errors are fatal to the
+// run: a monitor that advanced past records the log lost would recover
+// into a different state than it served.
+type RecordLog interface {
+	AppendUpdate(Update) error
+	AppendTrace(*Traceroute) error
+	WindowClosed(ws int64) error
+}
+
+// ResumeState carries a recovery replay's outcome into RunPipeline: the
+// open window's start (ResumeAll when nothing was replayed) and the open
+// window's records in per-feed ingestion order. The pipeline seeds its
+// positional replay matching from them, so when the reopened feeds
+// re-deliver those records they are skipped instead of double-ingested —
+// the same exactly-once mechanism a mid-run feed reopen uses.
+type ResumeState struct {
+	WindowStart int64
+	Updates     []Update
+	Traces      []*Traceroute
+}
+
+// RecoveryStats summarizes one recovery replay.
+type RecoveryStats struct {
+	// Updates/Traces were replayed into the monitor.
+	Updates int
+	Traces  int
+	// Skipped records predated the snapshot watermark (the snapshot
+	// already accounts for them).
+	Skipped int
+	// Windows were closed during replay; Signals were emitted by them.
+	Windows int
+	Signals int
+}
+
+// Recovery replays WAL records into a Monitor at startup, reproducing
+// exactly what the pipeline did before the crash: records advance the
+// window clock (closing windows and emitting their signals to sink) and
+// are observed in log order. Records from before the monitor's restored
+// window clock — covered by the snapshot that set it — are skipped, since
+// re-observing them would double-count window contributions the snapshot
+// already rolled up.
+//
+// Feed it via ObserveUpdate/ObserveTrace in log order, then call Finish
+// for the ResumeState to hand RunPipeline. Recovery does not close the
+// open window: the resumed pipeline continues it.
+type Recovery struct {
+	m      *Monitor
+	sink   func(Signal)
+	window int64
+
+	watermark int64
+	haveWM    bool
+
+	curIdx  int64
+	started bool
+
+	ups   []Update
+	trs   []*Traceroute
+	stats RecoveryStats
+}
+
+// NewRecovery builds a replayer for m. The snapshot watermark is read
+// from m's window clock, so restore the snapshot (if any) before calling
+// this. sink receives replayed windows' signals (nil discards them —
+// appropriate when no subscriber existed at crash time either).
+func NewRecovery(m *Monitor, sink func(Signal)) *Recovery {
+	r := &Recovery{m: m, sink: sink, window: m.WindowSec()}
+	if start, opened := m.WindowClock(); opened {
+		r.watermark, r.haveWM = start, true
+		r.started, r.curIdx = true, floorDiv(start, r.window)
+	}
+	return r
+}
+
+// ObserveUpdate replays one logged BGP update.
+func (r *Recovery) ObserveUpdate(u Update) {
+	if r.skip(u.Time) {
+		return
+	}
+	r.advanceTo(u.Time)
+	r.m.ObserveBGP(u)
+	r.ups = append(r.ups, u)
+	r.stats.Updates++
+}
+
+// ObserveTrace replays one logged public traceroute.
+func (r *Recovery) ObserveTrace(t *Traceroute) {
+	if r.skip(t.Time) {
+		return
+	}
+	r.advanceTo(t.Time)
+	r.m.ObservePublic(t)
+	r.trs = append(r.trs, t)
+	r.stats.Traces++
+}
+
+func (r *Recovery) skip(t int64) bool {
+	if r.haveWM && t < r.watermark {
+		r.stats.Skipped++
+		return true
+	}
+	return false
+}
+
+// advanceTo mirrors the pipeline's window bookkeeping: floor-divided
+// indices, windows closed on boundary crossings, open-window record
+// buffers cleared once a boundary completes them.
+func (r *Recovery) advanceTo(t int64) {
+	idx := floorDiv(t, r.window)
+	if !r.started {
+		r.started = true
+		r.curIdx = idx
+		return
+	}
+	if r.curIdx < idx {
+		for ; r.curIdx < idx; r.curIdx++ {
+			sigs := r.m.CloseWindow(r.curIdx * r.window)
+			r.stats.Windows++
+			r.stats.Signals += len(sigs)
+			if r.sink != nil {
+				for _, s := range sigs {
+					r.sink(s)
+				}
+			}
+		}
+		r.ups = r.ups[:0]
+		r.trs = r.trs[:0]
+	}
+}
+
+// Finish returns the resume state for RunPipeline and the replay stats.
+func (r *Recovery) Finish() (*ResumeState, RecoveryStats) {
+	rs := &ResumeState{WindowStart: ResumeAll}
+	if r.started {
+		rs.WindowStart = r.curIdx * r.window
+		rs.Updates = append([]Update(nil), r.ups...)
+		rs.Traces = append([]*Traceroute(nil), r.trs...)
+	}
+	return rs, r.stats
+}
+
+// skipUpdates / skipTraces drop the leading records of a time-ordered
+// source before a resume point, for sources (like the daemon's simulated
+// feeds) that always regenerate from their beginning and have no
+// Open(since) form.
+type skipUpdates struct {
+	src   UpdateSource
+	since int64
+	done  bool
+}
+
+// SkipUpdatesBefore returns src minus its records with Time < since.
+func SkipUpdatesBefore(src UpdateSource, since int64) UpdateSource {
+	return &skipUpdates{src: src, since: since}
+}
+
+func (s *skipUpdates) Read() (Update, error) {
+	for {
+		u, err := s.src.Read()
+		if err != nil {
+			return u, err
+		}
+		if !s.done && u.Time < s.since {
+			continue
+		}
+		s.done = true
+		return u, nil
+	}
+}
+
+type skipTraces struct {
+	src   TraceSource
+	since int64
+	done  bool
+}
+
+// SkipTracesBefore returns src minus its traceroutes with Time < since.
+func SkipTracesBefore(src TraceSource, since int64) TraceSource {
+	return &skipTraces{src: src, since: since}
+}
+
+func (s *skipTraces) Read() (*Traceroute, error) {
+	for {
+		t, err := s.src.Read()
+		if err != nil {
+			return t, err
+		}
+		if !s.done && t.Time < s.since {
+			continue
+		}
+		s.done = true
+		return t, nil
+	}
+}
