@@ -29,9 +29,14 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 10x ./internal/core/
 
 # Machine-readable bench record: engine + serve throughput plus a full
-# metrics-registry snapshot, diffable across PRs.
+# metrics-registry snapshot, diffable across PRs. BENCH_PR names the
+# output (BENCH_$(BENCH_PR).json) so each PR commits its own record
+# without clobbering earlier baselines; benchgate then enforces the
+# sharded-engine speedup floor (skipped automatically on 1-core hosts).
+BENCH_PR ?= pr6
 bench-json:
-	$(GO) run ./cmd/rrrbench -only enginebench,servebench -benchout BENCH_pr3.json
+	$(GO) run ./cmd/rrrbench -only enginebench,servebench -benchout BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/benchgate -min-speedup 1.0 BENCH_$(BENCH_PR).json
 
 # Short fuzz pass over every entry point that consumes untrusted bytes:
 # the BGP parsers (MRT, binary, and text codecs; path and community

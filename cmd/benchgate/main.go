@@ -1,0 +1,88 @@
+// Command benchgate enforces performance floors on a BENCH_*.json record
+// written by rrrbench -benchout. CI runs it after every bench pass so a
+// change that pessimizes the sharded engine (the failure mode this repo
+// has actually shipped: sharding that lost to the serial path) fails the
+// build instead of landing as a quietly-regressed artifact.
+//
+//	benchgate -min-speedup 1.0 BENCH_pr6.json
+//
+// The engine speedup gate only applies when the record was taken with
+// GOMAXPROCS > 1: on a single-core runner the parallel close phase cannot
+// beat serial and the honest expectation is speedup ≈ 1 from eliminated
+// replication work, not scaling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchRecord struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"gitSha"`
+	Engine     []struct {
+		Shards  int     `json:"Shards"`
+		Speedup float64 `json:"Speedup"`
+	} `json:"engine"`
+	Serve *struct {
+		ReqPerSec float64 `json:"ReqPerSec"`
+	} `json:"serve"`
+}
+
+func main() {
+	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum 2-shard engine speedup (gated only when gomaxprocs > 1)")
+	minReqPerSec := flag.Float64("min-reqps", 0, "minimum servebench requests/sec (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-min-speedup X] [-min-reqps Y] BENCH.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", flag.Arg(0), err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if rec.GOMAXPROCS > 1 {
+		gated := false
+		for _, r := range rec.Engine {
+			if r.Shards != 2 {
+				continue
+			}
+			gated = true
+			if r.Speedup < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL engine speedup @2 shards = %.2f < %.2f (gomaxprocs=%d, sha=%s)\n",
+					r.Speedup, *minSpeedup, rec.GOMAXPROCS, rec.GitSHA)
+				failed = true
+			} else {
+				fmt.Printf("benchgate: ok engine speedup @2 shards = %.2f (>= %.2f)\n", r.Speedup, *minSpeedup)
+			}
+		}
+		if !gated && len(rec.Engine) > 0 {
+			fmt.Println("benchgate: no 2-shard engine row; speedup gate skipped")
+		}
+	} else {
+		fmt.Printf("benchgate: gomaxprocs=%d, engine speedup gate skipped (needs > 1 core)\n", rec.GOMAXPROCS)
+	}
+	if *minReqPerSec > 0 {
+		if rec.Serve == nil {
+			fmt.Println("benchgate: no serve record; req/s gate skipped")
+		} else if rec.Serve.ReqPerSec < *minReqPerSec {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL serve %.0f req/s < %.0f\n", rec.Serve.ReqPerSec, *minReqPerSec)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok serve %.0f req/s (>= %.0f)\n", rec.Serve.ReqPerSec, *minReqPerSec)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

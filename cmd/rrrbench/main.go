@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -33,7 +34,15 @@ func main() {
 	batch := flag.Int("batch", 64, "keys per batch for -only servebench")
 	metrics := flag.Bool("metrics", false, "dump the obs metrics registry (Prometheus text) after the run")
 	benchout := flag.String("benchout", "", "write machine-readable bench results + registry snapshot to this JSON file")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "GOMAXPROCS for the run (0 keeps the runtime default: all cores)")
 	flag.Parse()
+
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
+	// Speedup numbers are meaningless without knowing how many cores the
+	// run actually had; print it and record it in -benchout.
+	fmt.Printf("GOMAXPROCS=%d (NumCPU=%d)\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	var sc experiments.Scale
 	switch *scale {
@@ -161,13 +170,26 @@ func main() {
 // numbers plus a full registry snapshot so regressions in both throughput
 // and internal counters (e.g. shard imbalance) are diffable across PRs.
 type benchJSON struct {
-	Scale      string                          `json:"scale"`
-	Days       int                             `json:"days"`
-	Seed       int64                           `json:"seed"`
-	GOMAXPROCS int                             `json:"gomaxprocs"`
-	Engine     []experiments.EngineBenchResult `json:"engine,omitempty"`
-	Serve      *server.ServeBenchResult        `json:"serve,omitempty"`
-	Metrics    map[string]float64              `json:"metrics"`
+	Scale      string `json:"scale"`
+	Days       int    `json:"days"`
+	Seed       int64  `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitSHA pins the record to the commit it measured (empty outside a
+	// git checkout).
+	GitSHA string `json:"gitSha,omitempty"`
+	// Shards lists the engine shard counts swept, in run order.
+	Shards  []int                           `json:"shards,omitempty"`
+	Engine  []experiments.EngineBenchResult `json:"engine,omitempty"`
+	Serve   *server.ServeBenchResult        `json:"serve,omitempty"`
+	Metrics map[string]float64              `json:"metrics"`
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func writeBenchJSON(path, scale string, sc experiments.Scale,
@@ -177,9 +199,13 @@ func writeBenchJSON(path, scale string, sc experiments.Scale,
 		Days:       sc.Days,
 		Seed:       sc.SimCfg.Seed,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
 		Engine:     engine,
 		Serve:      serve,
 		Metrics:    obs.Default.Snapshot(),
+	}
+	for _, r := range engine {
+		out.Shards = append(out.Shards, r.Shards)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -189,15 +215,18 @@ func writeBenchJSON(path, scale string, sc experiments.Scale,
 }
 
 func printServeBench(r *server.ServeBenchResult) {
-	fmt.Println("\n=== Serve bench: POST /v1/stale under concurrent feed ingestion ===")
+	fmt.Println("\n=== Serve bench: POST /v1/stale ===")
 	fmt.Printf("corpus=%d pairs, %d clients x %d reqs, batch=%d, windows ingested=%d\n",
 		r.CorpusSize, r.Clients, r.Requests/r.Clients, r.BatchSize, r.IngestedWindows)
-	fmt.Printf("%-10s %-12s %-12s %-10s %-10s %-10s %-8s\n",
-		"elapsed", "req/s", "keys/s", "p50", "p90", "p99", "stale")
-	fmt.Printf("%-10s %-12.0f %-12.0f %-10s %-10s %-10s %-8d\n",
-		r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.KeysPerSec,
-		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
-		r.P99.Round(time.Microsecond), r.StaleVerdicts)
+	fmt.Printf("%-14s %-10s %-12s %-12s %-10s %-10s %-10s\n",
+		"phase", "elapsed", "req/s", "keys/s", "p50", "p90", "p99")
+	fmt.Printf("%-14s %-10s %-12.0f %-12.0f %-10s %-10s %-10s\n",
+		"during-ingest", r.Elapsed.Round(time.Millisecond), r.ReqPerSec, r.KeysPerSec,
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	fmt.Printf("%-14s %-10s %-12.0f %-12.0f %-10s %-10s %-10s\n",
+		"cached", r.CachedElapsed.Round(time.Millisecond), r.CachedReqPerSec, r.CachedKeysPerSec,
+		r.CachedP50.Round(time.Microsecond), r.CachedP90.Round(time.Microsecond), r.CachedP99.Round(time.Microsecond))
+	fmt.Printf("stale verdicts (ingest phase): %d\n", r.StaleVerdicts)
 }
 
 func printEngineBench(rs []experiments.EngineBenchResult) {

@@ -93,6 +93,12 @@ func (bw *BinaryWriter) Flush() error { return bw.w.Flush() }
 // BinaryReader parses updates from the framed binary format.
 type BinaryReader struct {
 	r *bufio.Reader
+	// scratch holds the variable-length portion of the record being
+	// decoded (AS path and community words), reused across Read calls so
+	// the steady-state read path performs three io.ReadFull calls and
+	// allocates only the Path/Communities slices that escape to the
+	// caller.
+	scratch []byte
 }
 
 // NewBinaryReader wraps r.
@@ -125,55 +131,51 @@ func (br *BinaryReader) Read() (Update, error) {
 	}
 	u.Type = UpdateType(hdr[3])
 
-	var buf [8]byte
-	if _, err := io.ReadFull(br.r, buf[:8]); err != nil {
+	// Fixed-size body: time(8) peerIP(4) peerAS(4) prefix(4+1) med(4)
+	// npath(2), read in one call.
+	var fixed [27]byte
+	if _, err := io.ReadFull(br.r, fixed[:]); err != nil {
 		return u, unexpectedEOF(err)
 	}
-	u.Time = int64(binary.BigEndian.Uint64(buf[:8]))
-	if _, err := io.ReadFull(br.r, buf[:4]); err != nil {
-		return u, unexpectedEOF(err)
-	}
-	u.PeerIP = binary.BigEndian.Uint32(buf[:4])
-	if _, err := io.ReadFull(br.r, buf[:4]); err != nil {
-		return u, unexpectedEOF(err)
-	}
-	u.PeerAS = ASN(binary.BigEndian.Uint32(buf[:4]))
-	if _, err := io.ReadFull(br.r, buf[:5]); err != nil {
-		return u, unexpectedEOF(err)
-	}
-	u.Prefix = trie.MakePrefix(binary.BigEndian.Uint32(buf[:4]), buf[4])
+	u.Time = int64(binary.BigEndian.Uint64(fixed[0:8]))
+	u.PeerIP = binary.BigEndian.Uint32(fixed[8:12])
+	u.PeerAS = ASN(binary.BigEndian.Uint32(fixed[12:16]))
+	u.Prefix = trie.MakePrefix(binary.BigEndian.Uint32(fixed[16:20]), fixed[20])
 	if u.Prefix.Len > 32 {
-		return u, fmt.Errorf("bgp: bad prefix length %d", buf[4])
+		return u, fmt.Errorf("bgp: bad prefix length %d", fixed[20])
 	}
-	if _, err := io.ReadFull(br.r, buf[:4]); err != nil {
-		return u, unexpectedEOF(err)
-	}
-	u.MED = binary.BigEndian.Uint32(buf[:4])
+	u.MED = binary.BigEndian.Uint32(fixed[21:25])
+	npath := binary.BigEndian.Uint16(fixed[25:27])
 
-	if _, err := io.ReadFull(br.r, buf[:2]); err != nil {
+	// Variable tail: npath ASN words plus the community count, then the
+	// community words — two more reads through a reusable scratch buffer.
+	n := int(npath)*4 + 2
+	if cap(br.scratch) < n {
+		br.scratch = make([]byte, n)
+	}
+	b := br.scratch[:n]
+	if _, err := io.ReadFull(br.r, b); err != nil {
 		return u, unexpectedEOF(err)
 	}
-	npath := binary.BigEndian.Uint16(buf[:2])
 	if npath > 0 {
 		u.ASPath = make(Path, npath)
 		for i := range u.ASPath {
-			if _, err := io.ReadFull(br.r, buf[:4]); err != nil {
-				return u, unexpectedEOF(err)
-			}
-			u.ASPath[i] = ASN(binary.BigEndian.Uint32(buf[:4]))
+			u.ASPath[i] = ASN(binary.BigEndian.Uint32(b[i*4:]))
 		}
 	}
-	if _, err := io.ReadFull(br.r, buf[:2]); err != nil {
-		return u, unexpectedEOF(err)
-	}
-	ncomm := binary.BigEndian.Uint16(buf[:2])
+	ncomm := binary.BigEndian.Uint16(b[n-2:])
 	if ncomm > 0 {
+		n = int(ncomm) * 4
+		if cap(br.scratch) < n {
+			br.scratch = make([]byte, n)
+		}
+		b = br.scratch[:n]
+		if _, err := io.ReadFull(br.r, b); err != nil {
+			return u, unexpectedEOF(err)
+		}
 		u.Communities = make(Communities, ncomm)
 		for i := range u.Communities {
-			if _, err := io.ReadFull(br.r, buf[:4]); err != nil {
-				return u, unexpectedEOF(err)
-			}
-			u.Communities[i] = Community(binary.BigEndian.Uint32(buf[:4]))
+			u.Communities[i] = Community(binary.BigEndian.Uint32(b[i*4:]))
 		}
 	}
 	return u, nil

@@ -64,6 +64,11 @@ type Change struct {
 // views provide (paper §4.1.1).
 type RIB struct {
 	tables map[VPKey]*vpTable
+	// commScratch is reused across Apply calls to normalize the incoming
+	// community set without cloning it first. The dominant update class in
+	// steady state is duplicates (paper §4.1.4), where the normalized set
+	// matches the previous route and no allocation is needed at all.
+	commScratch Communities
 }
 
 type vpTable struct {
@@ -94,20 +99,33 @@ func (r *RIB) Apply(u Update) Change {
 	}
 
 	cur := &Route{
-		Prefix:      u.Prefix,
-		ASPath:      u.ASPath.Clone(),
-		Communities: NormalizeCommunities(u.Communities.Clone()),
-		MED:         u.MED,
-		Updated:     u.Time,
+		Prefix:  u.Prefix,
+		MED:     u.MED,
+		Updated: u.Time,
+	}
+	// Routes are immutable once inserted, so an unchanged attribute can
+	// alias the previous route's slice instead of cloning the update's.
+	samePath := prev != nil && prev.ASPath.Equal(u.ASPath)
+	if samePath {
+		cur.ASPath = prev.ASPath
+	} else {
+		cur.ASPath = u.ASPath.Clone()
+	}
+	r.commScratch = NormalizeCommunities(append(r.commScratch[:0], u.Communities...))
+	sameComms := prev != nil && prev.Communities.Equal(r.commScratch)
+	if sameComms {
+		cur.Communities = prev.Communities
+	} else {
+		cur.Communities = NormalizeCommunities(u.Communities.Clone())
 	}
 	tbl.trie.Insert(u.Prefix, cur)
 
 	switch {
 	case prev == nil:
 		return Change{Kind: ChangeNew, VP: vp, Cur: cur, Update: u}
-	case !prev.ASPath.Equal(cur.ASPath):
+	case !samePath:
 		return Change{Kind: ChangeASPath, VP: vp, Prev: prev, Cur: cur, Update: u}
-	case !prev.Communities.Equal(cur.Communities):
+	case !sameComms:
 		return Change{Kind: ChangeCommunities, VP: vp, Prev: prev, Cur: cur, Update: u}
 	default:
 		return Change{Kind: ChangeDuplicate, VP: vp, Prev: prev, Cur: cur, Update: u}

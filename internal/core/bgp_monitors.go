@@ -8,7 +8,6 @@ import (
 	"rrr/internal/bgp"
 	"rrr/internal/corpus"
 	"rrr/internal/traceroute"
-	"rrr/internal/trie"
 )
 
 // vpSlot is one vantage point inside a monitor's fixed VP set, with the
@@ -118,12 +117,10 @@ func (e *Engine) vpColocation(vp bgp.VPKey, en *corpus.Entry) (sameAS, sameCity 
 }
 
 // registerBGPMonitors wires a corpus entry into the three BGP techniques.
-// With attach false it only replicates the shared extra-AS series (§4.1.4's
-// exculpation set) without registering any per-pair monitor: shadow shards
-// of a Sharded engine keep replicas of every shared series so their
-// detector state matches the serial engine's no matter which shard a later
-// entry lands on.
-func (e *Engine) registerBGPMonitors(en *corpus.Entry, attach bool) {
+// Per-pair monitors are indexed on the owning engine; the extra-AS series
+// (§4.1.4's exculpation set) are created in (or joined from) the shared
+// state, which all shards of a Sharded engine point at.
+func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 	vps := e.rib.VPs()
 	tauASes := make(map[bgp.ASN]int, len(en.ASPath)) // AS → hop index
 	for i, as := range en.ASPath {
@@ -169,7 +166,7 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry, attach bool) {
 		firstIdxs = append(firstIdxs, j)
 	}
 	sort.Ints(firstIdxs)
-	if e.cfg.disabled(TechBGPASPath) || !attach {
+	if e.cfg.disabled(TechBGPASPath) {
 		firstIdxs = nil
 	}
 	for _, j := range firstIdxs {
@@ -226,27 +223,24 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry, attach bool) {
 		if len(shared) < e.cfg.MinSuffixVPs {
 			continue
 		}
-		var bm *burstMonitor
-		if attach {
-			bm = &burstMonitor{
-				id:     e.nextID(),
-				key:    en.Key,
-				suffix: suffix.Clone(),
-				det:    anomaly.NewBitmap(),
-			}
-			if st := e.retired[en.Key]["burst:"+bm.suffix.String()]; st != nil {
-				if det, ok := st.det.(*anomaly.BitmapDetector); ok {
-					bm.det = det
-				}
-			}
-			for _, in := range shared {
-				bm.slots = append(bm.slots, vpSlot{vp: in.vp, pf: in.pf})
-				sa, sc := e.vpColocation(in.vp, en)
-				bm.sameAS = bm.sameAS || sa
-				bm.sameCity = bm.sameCity || sc
-			}
-			bm.borders = bordersForSuffix(en, suffix)
+		bm := &burstMonitor{
+			id:     e.nextID(),
+			key:    en.Key,
+			suffix: suffix.Clone(),
+			det:    anomaly.NewBitmap(),
 		}
+		if st := e.retired[en.Key]["burst:"+bm.suffix.String()]; st != nil {
+			if det, ok := st.det.(*anomaly.BitmapDetector); ok {
+				bm.det = det
+			}
+		}
+		for _, in := range shared {
+			bm.slots = append(bm.slots, vpSlot{vp: in.vp, pf: in.pf})
+			sa, sc := e.vpColocation(in.vp, en)
+			bm.sameAS = bm.sameAS || sa
+			bm.sameCity = bm.sameCity || sc
+		}
+		bm.borders = bordersForSuffix(en, suffix)
 		// Extra ASes: on ≥2 shared VPs' paths but not on τ.
 		counts := make(map[bgp.ASN]int)
 		for _, in := range shared {
@@ -265,7 +259,7 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry, attach bool) {
 		sort.Slice(aks, func(x, y int) bool { return aks[x] < aks[y] })
 		for _, ak := range aks {
 			ek := extraKey{ak: ak, dstIP: en.Key.Dst, j: j}
-			es, ok := e.extras[ek]
+			es, ok := e.sh.extras[ek]
 			if !ok {
 				es = &extraSeries{ak: ak, det: anomaly.NewBitmap()}
 				// W set: VPs traversing a_k toward d but not sharing the
@@ -275,23 +269,13 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry, attach bool) {
 						es.slots = append(es.slots, vpSlot{vp: in.vp, pf: in.pf})
 					}
 				}
-				e.extras[ek] = es
+				e.sh.extras[ek] = es
+				e.sh.extrasSorted = nil
 			}
-			if bm != nil {
-				bm.extras = append(bm.extras, es)
-			}
+			bm.extras = append(bm.extras, es)
 		}
-		if bm != nil {
-			e.bursts = append(e.bursts, bm)
-			e.addReg(en.Key, Registration{MonitorID: bm.id, Technique: TechBGPBurst, Borders: bm.borders})
-		}
-	}
-
-	if !attach {
-		// Shadow registration replicates shared series only; per-pair
-		// community monitors (and their ID allocation) stay on the shard
-		// that owns the entry.
-		return
+		e.bursts = append(e.bursts, bm)
+		e.addReg(en.Key, Registration{MonitorID: bm.id, Technique: TechBGPBurst, Borders: bm.borders})
 	}
 
 	// §4.1.3: one community monitor per τ over VPs overlapping an
@@ -399,77 +383,22 @@ func (e *Engine) ObserveBGP(u bgp.Update) {
 	if bgp.FilterTooSpecific(u.Prefix) {
 		return
 	}
-	e.observeBGPChange(u, e.rib.Apply(u))
+	e.sh.observeBGPChange(u, e.rib.Apply(u))
 }
 
-// observeBGPChange folds one already-applied RIB change into the window
-// state. It never touches the RIB, so a Sharded engine can apply each
-// update once and fan the change out to every shard's window replica.
-func (e *Engine) observeBGPChange(u bgp.Update, c bgp.Change) {
-	key := vpPrefix{vp: c.VP, pf: u.Prefix}
-	st := e.winUpdates[key]
-	if st == nil {
-		st = &vpWindowState{}
-		if c.Prev != nil {
-			st.startPath = c.Prev.ASPath
-			st.startComms = c.Prev.Communities
-			st.startOK = true
-		}
-		e.winUpdates[key] = st
-	}
-	switch c.Kind {
-	case bgp.ChangeWithdrawn:
-		// A withdrawal removes the path; contributes no path update.
-	case bgp.ChangeDuplicate:
-		st.dup = true
-		st.paths = append(st.paths, c.Cur.ASPath)
-	case bgp.ChangeCommunities:
-		st.paths = append(st.paths, c.Cur.ASPath)
-		prev := bgp.Communities(nil)
-		if c.Prev != nil {
-			prev = c.Prev.Communities
-		}
-		e.winComms = append(e.winComms, commEvent{
-			vp: c.VP, prefix: u.Prefix, prev: prev,
-			cur: c.Cur.Communities, time: u.Time,
-		})
-	case bgp.ChangeASPath, bgp.ChangeNew:
-		st.paths = append(st.paths, c.Cur.ASPath)
-	}
-}
-
-// closeBGPWindow evaluates all BGP-derived series for the window starting
-// at ws and returns signals.
-func (e *Engine) closeBGPWindow(ws int64) []Signal {
+// closeBGPWindow evaluates the engine's per-pair BGP series for the window
+// starting at ws and returns signals. The shared extra-AS series (burst
+// exculpation) and the commChanged set were already evaluated once for the
+// window by sharedState.closeShared; this function only reads them.
+func (e *Engine) closeBGPWindow(ws int64, sc *sharedClose) []Signal {
 	var sigs []Signal
-
-	// Prefixes with community changes this window: their "duplicate"
-	// updates at other VPs are usually the same change with communities
-	// stripped en route, not independent IGP events; bursts made only of
-	// such echoes are suppressed (the community technique covers them).
-	commChanged := make(map[trie.Prefix]bool, len(e.winComms))
-	for _, ev := range e.winComms {
-		commChanged[ev.prefix] = true
-	}
-
-	// Extra series first: burst correlation consults their outcome.
-	for _, es := range sortedExtras(e.extras) {
-		dups := 0
-		for i := range es.slots {
-			if st, ok := e.winUpdates[es.slots[i].pf]; ok && st.dup {
-				dups++
-			}
-		}
-		if es.det.Add(float64(dups)) {
-			es.outlierWin = ws
-		}
-	}
+	commChanged := sc.commChanged
 
 	// §4.1.4 burst monitors.
 	for _, bm := range e.bursts {
 		dupCount := 0
 		for i := range bm.slots {
-			if st, ok := e.winUpdates[bm.slots[i].pf]; ok && st.dup {
+			if st, ok := e.sh.winUpdates[bm.slots[i].pf]; ok && st.dup {
 				dupCount++
 			}
 		}
@@ -545,7 +474,7 @@ func (e *Engine) closeBGPWindow(ws int64) []Signal {
 		intersect, match := m.quietI, m.quietM
 		for i := range m.slots {
 			slot := &m.slots[i]
-			st, dirty := e.winUpdates[slot.pf]
+			st, dirty := e.sh.winUpdates[slot.pf]
 			if !dirty {
 				continue
 			}
@@ -601,7 +530,7 @@ func (e *Engine) closeBGPWindow(ws int64) []Signal {
 func dupSlots(e *Engine, slots []vpSlot) []*vpSlot {
 	var out []*vpSlot
 	for i := range slots {
-		if st, ok := e.winUpdates[slots[i].pf]; ok && st.dup {
+		if st, ok := e.sh.winUpdates[slots[i].pf]; ok && st.dup {
 			out = append(out, &slots[i])
 		}
 	}
@@ -671,7 +600,7 @@ func (e *Engine) processCommEvents(ws int64) []Signal {
 	// One signal per (monitor, community) per window: several VPs
 	// reporting the same community change describe one network event.
 	emitted := make(map[[2]uint64]bool)
-	for _, ev := range e.winComms {
+	for _, ev := range e.sh.winComms {
 		pf := vpPrefix{vp: ev.vp, pf: ev.prefix}
 		monitors := e.commByVP[pf]
 		if len(monitors) == 0 {
@@ -749,7 +678,7 @@ func (e *Engine) communityOnOtherVP(cm *commMonitor, except bgp.VPKey, c bgp.Com
 			continue
 		}
 		var comms bgp.Communities
-		if ws, ok := e.winUpdates[st.pf]; ok && ws.startOK {
+		if ws, ok := e.sh.winUpdates[st.pf]; ok && ws.startOK {
 			comms = ws.startComms
 		} else if rt, ok := e.rib.Route(st.pf.vp, st.pf.pf); ok {
 			comms = rt.Communities

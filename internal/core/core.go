@@ -229,29 +229,26 @@ type Engine struct {
 	// destToKeys indexes corpus pairs by destination address.
 	destToKeys map[uint32][]traceroute.Key
 
-	// Per-window BGP state.
-	window     int64 // current window start; -1 before first observation
-	winUpdates map[vpPrefix]*vpWindowState
-	winComms   []commEvent
-	ids        *idAlloc
+	// sh is the window fold and the monitor series shared across corpus
+	// pairs. A serial engine owns its instance; every shard of a Sharded
+	// engine points at one dispatcher-owned instance, so shared state is
+	// observed and evaluated once per feed event instead of once per shard.
+	sh *sharedState
+
+	// window is the current window start; -1 before first observation.
+	window int64
+	ids    *idAlloc
 
 	asp      []*aspMonitor
 	aspByVP  map[vpPrefix][]*aspMonitor
 	aspByKey map[traceroute.Key][]*aspMonitor
 	bursts   []*burstMonitor
-	extras   map[extraKey]*extraSeries
 	comms    map[traceroute.Key]*commMonitor
 	commByVP map[vpPrefix][]*commMonitor
 
-	subpaths    map[string]*subpathMonitor
-	subByStart  map[uint32][]*subpathMonitor
-	subByKey    map[traceroute.Key][]*subpathMonitor
-	borders     map[borderGroupKey]*borderGroup
-	brsByKey    map[traceroute.Key][]*borderRouterSeries
-	pendingIXP  []Signal
-	ixpMembers  map[int]map[bgp.ASN]bool
-	ixpObserved map[int]map[bgp.ASN]bool
-	allowPriv   map[bgp.ASN]bool
+	subByKey   map[traceroute.Key][]*subpathMonitor
+	brsByKey   map[traceroute.Key][]*borderRouterSeries
+	pendingIXP []Signal
 
 	patcher *traceroute.Patcher
 
@@ -337,43 +334,37 @@ type commEvent struct {
 func NewEngine(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle) *Engine {
 	cfg = cfg.withDefaults()
 	calib := NewCalibrator(cfg.CalibrationWindows, cfg.CommunityFPQuota)
-	return newEngineWith(cfg, m, aliases, geo, rel, bgp.NewRIB(), newIDAlloc(), calib, traceroute.NewPatcher())
+	return newEngineWith(cfg, m, aliases, geo, rel, bgp.NewRIB(), newIDAlloc(), calib, traceroute.NewPatcher(), newSharedState(cfg, geo))
 }
 
 // newEngineWith builds one engine around externally-owned shared services:
-// NewSharded passes the same RIB, ID allocator, calibrator, and patcher to
-// every shard. cfg must already have defaults resolved.
+// NewSharded passes the same RIB, ID allocator, calibrator, patcher, and
+// shared series state to every shard. cfg must already have defaults
+// resolved.
 func newEngineWith(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle,
-	rib *bgp.RIB, ids *idAlloc, calib *Calibrator, patcher *traceroute.Patcher) *Engine {
+	rib *bgp.RIB, ids *idAlloc, calib *Calibrator, patcher *traceroute.Patcher, sh *sharedState) *Engine {
 	e := &Engine{
-		cfg:         cfg,
-		mapper:      m,
-		aliases:     aliases,
-		geo:         geo,
-		rel:         rel,
-		rib:         rib,
-		entries:     make(map[traceroute.Key]*corpus.Entry),
-		regs:        make(map[traceroute.Key][]Registration),
-		destToKeys:  make(map[uint32][]traceroute.Key),
-		window:      -1,
-		winUpdates:  make(map[vpPrefix]*vpWindowState),
-		ids:         ids,
-		aspByVP:     make(map[vpPrefix][]*aspMonitor),
-		aspByKey:    make(map[traceroute.Key][]*aspMonitor),
-		extras:      make(map[extraKey]*extraSeries),
-		comms:       make(map[traceroute.Key]*commMonitor),
-		commByVP:    make(map[vpPrefix][]*commMonitor),
-		subpaths:    make(map[string]*subpathMonitor),
-		subByStart:  make(map[uint32][]*subpathMonitor),
-		subByKey:    make(map[traceroute.Key][]*subpathMonitor),
-		borders:     make(map[borderGroupKey]*borderGroup),
-		brsByKey:    make(map[traceroute.Key][]*borderRouterSeries),
-		ixpMembers:  make(map[int]map[bgp.ASN]bool),
-		ixpObserved: make(map[int]map[bgp.ASN]bool),
-		allowPriv:   make(map[bgp.ASN]bool),
-		patcher:     patcher,
-		retired:     make(map[traceroute.Key]map[string]*retiredState),
-		active:      make(map[traceroute.Key][]Signal),
+		cfg:        cfg,
+		mapper:     m,
+		aliases:    aliases,
+		geo:        geo,
+		rel:        rel,
+		rib:        rib,
+		entries:    make(map[traceroute.Key]*corpus.Entry),
+		regs:       make(map[traceroute.Key][]Registration),
+		destToKeys: make(map[uint32][]traceroute.Key),
+		window:     -1,
+		sh:         sh,
+		ids:        ids,
+		aspByVP:    make(map[vpPrefix][]*aspMonitor),
+		aspByKey:   make(map[traceroute.Key][]*aspMonitor),
+		comms:      make(map[traceroute.Key]*commMonitor),
+		commByVP:   make(map[vpPrefix][]*commMonitor),
+		subByKey:   make(map[traceroute.Key][]*subpathMonitor),
+		brsByKey:   make(map[traceroute.Key][]*borderRouterSeries),
+		patcher:    patcher,
+		retired:    make(map[traceroute.Key]map[string]*retiredState),
+		active:     make(map[traceroute.Key][]Signal),
 	}
 	e.Calib = calib
 	return e
@@ -444,14 +435,14 @@ func (e *Engine) SetInitialIXPMembership(members map[int][]bgp.ASN) {
 		for _, as := range list {
 			m[as] = true
 		}
-		e.ixpMembers[ixp] = m
+		e.sh.ixpMembers[ixp] = m
 	}
 }
 
 // AllowPrivatePeerSignals marks an AS as giving public and private peers
 // equal local preference, enabling IXP signals through private peers
 // (§4.2.3's learned exception).
-func (e *Engine) AllowPrivatePeerSignals(as bgp.ASN) { e.allowPriv[as] = true }
+func (e *Engine) AllowPrivatePeerSignals(as bgp.ASN) { e.sh.allowPriv[as] = true }
 
 func (e *Engine) nextID() int { return e.ids.next() }
 

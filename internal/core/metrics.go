@@ -7,30 +7,31 @@ import (
 )
 
 // Per-shard instrumentation for the sharded engine. Handles are resolved
-// once in NewSharded (one labeled series per shard index), so the drain
+// once in NewSharded (one labeled series per shard index), so the ingest
 // and close paths only touch atomics. Shard-labeled series accumulate
 // across engine instances sharing a process — in the daemon there is
 // exactly one — and expose imbalance: a hot shard shows a fatter
 // close-window latency distribution and a larger owned-pairs gauge than
-// its peers, since broadcast observation counts are identical by design.
+// its peers. Observations are folded into the shared window state exactly
+// once regardless of shard count, so they are a single engine-level
+// counter rather than a per-shard series.
 type shardMetrics struct {
-	obs   []*obs.Counter   // observations replayed into the shard
+	obs   *obs.Counter     // observations folded into the shared state
 	pairs []*obs.Gauge     // corpus pairs owned by the shard
-	close []*obs.Histogram // per-shard replay+close latency
+	close []*obs.Histogram // per-shard close latency
 }
 
 func newShardMetrics(n int) shardMetrics {
-	obs.Default.Help("rrr_shard_observations_total", "broadcast observations (BGP changes and prepared traceroutes) replayed into each shard")
+	obs.Default.Help("rrr_engine_observations_total", "observations (BGP changes and prepared traceroutes) folded into the engine's shared window state")
 	obs.Default.Help("rrr_shard_pairs", "corpus pairs owned by each shard (imbalance indicator)")
-	obs.Default.Help("rrr_shard_close_window_seconds", "per-shard drain+close latency for one signal window")
+	obs.Default.Help("rrr_shard_close_window_seconds", "per-shard close latency for one signal window")
 	m := shardMetrics{
-		obs:   make([]*obs.Counter, n),
+		obs:   obs.Default.Counter("rrr_engine_observations_total"),
 		pairs: make([]*obs.Gauge, n),
 		close: make([]*obs.Histogram, n),
 	}
 	for i := 0; i < n; i++ {
 		shard := strconv.Itoa(i)
-		m.obs[i] = obs.Default.Counter("rrr_shard_observations_total", "shard", shard)
 		m.pairs[i] = obs.Default.Gauge("rrr_shard_pairs", "shard", shard)
 		m.close[i] = obs.Default.Histogram("rrr_shard_close_window_seconds", nil, "shard", shard)
 	}

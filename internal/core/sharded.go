@@ -12,49 +12,37 @@ import (
 	"rrr/internal/traceroute"
 )
 
-// shardFlushThreshold bounds how many observations buffer before the
-// dispatcher forces a drain, capping memory and giving feed readers
-// backpressure.
-const shardFlushThreshold = 4096
-
-// shardOp is one buffered broadcast observation: either a classified BGP
-// change or a prepared public traceroute.
-type shardOp struct {
-	update bgp.Update
-	change bgp.Change
-	trace  *preparedTrace
-}
-
 // Sharded partitions an Engine across Config.Shards shards keyed by corpus
-// pair, so ObserveBGP, ObservePublicTrace, and especially CloseWindow fan
-// out across a bounded worker pool (one goroutine per shard, spawned only
-// while a call is draining — the engine owns no long-lived goroutines and
-// needs no Close).
+// pair, so CloseWindow's per-pair monitor evaluation fans out across a
+// bounded worker pool (one goroutine per shard, spawned only while a close
+// is running — the engine owns no long-lived goroutines and needs no
+// Close).
 //
 // The signal stream is byte-identical to the serial engine's for the same
 // feed, for any shard count:
 //
-//   - All shards share one RIB, calibrator, patcher, and monitor-ID
-//     allocator. The dispatcher applies each update and patches each
-//     traceroute exactly once, then broadcasts the immutable result.
-//   - Per-pair monitors live only on the shard owning the pair; monitors
-//     shared across pairs (subpaths, border-router series, extra-AS
-//     series) are replicated on every shard from the moment any pair
-//     first registers them, so every replica sees the full observation
-//     stream and carries the same detector state as the serial engine's
-//     single instance.
-//   - Each shard processes the broadcast stream in feed order, and merged
-//     window signals pass through a total-order sort.
+//   - All shards share one RIB, calibrator, patcher, monitor-ID allocator,
+//     and one sharedState (window fold, extra-AS series, subpath monitors,
+//     border-router series, IXP membership). The dispatcher applies each
+//     update and patches each traceroute exactly once and folds it into
+//     the shared state exactly once — the same total work as serial, where
+//     earlier designs replayed the stream into every shard.
+//   - Per-pair monitors live only on the shard owning the pair.
+//   - CloseWindow runs the shared phase once (extra-AS detectors, subpath
+//     and border series advances, in the serial engine's order), routes
+//     the resulting signals to their owning shards, runs the per-pair
+//     phase concurrently, and k-way-merges the per-shard sorted streams.
 //
 // Registrations, refresh evaluation, and queries run on the caller's
-// goroutine between drains, exactly as in the serial engine. Sharded is
-// safe for concurrent use, but the feed semantics are unchanged: updates
-// and traceroutes must still arrive in time order, so concurrent feeders
-// must serialize externally (the Monitor facade does).
+// goroutine, exactly as in the serial engine. Sharded is safe for
+// concurrent use, but the feed semantics are unchanged: updates and
+// traceroutes must still arrive in time order, so concurrent feeders must
+// serialize externally (the Monitor facade does).
 type Sharded struct {
 	mu      sync.Mutex
 	cfg     Config
 	shards  []*Engine
+	sh      *sharedState
 	rib     *bgp.RIB
 	patcher *traceroute.Patcher
 	mapper  traceroute.Mapper
@@ -63,12 +51,11 @@ type Sharded struct {
 	// Calib is the shared §4.3 calibrator; exported like Engine.Calib.
 	Calib *Calibrator
 
-	ops []shardOp
 	met shardMetrics
 }
 
 // NewSharded builds a sharded engine. cfg.Shards of 0 means
-// runtime.GOMAXPROCS(0); 1 runs the serial path with no buffering.
+// runtime.GOMAXPROCS(0); 1 runs the serial path with no fan-out.
 func NewSharded(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, geo Geolocator, rel RelOracle) *Sharded {
 	cfg = cfg.withDefaults()
 	n := cfg.Shards
@@ -77,6 +64,7 @@ func NewSharded(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, 
 	}
 	s := &Sharded{
 		cfg:     cfg,
+		sh:      newSharedState(cfg, geo),
 		rib:     bgp.NewRIB(),
 		patcher: traceroute.NewPatcher(),
 		mapper:  m,
@@ -85,7 +73,7 @@ func NewSharded(cfg Config, m traceroute.Mapper, aliases bordermap.AliasOracle, 
 	}
 	ids := newIDAlloc()
 	for i := 0; i < n; i++ {
-		s.shards = append(s.shards, newEngineWith(cfg, m, aliases, geo, rel, s.rib, ids, s.Calib, s.patcher))
+		s.shards = append(s.shards, newEngineWith(cfg, m, aliases, geo, rel, s.rib, ids, s.Calib, s.patcher, s.sh))
 	}
 	s.met = newShardMetrics(n)
 	return s
@@ -112,74 +100,39 @@ func (s *Sharded) shardOf(k traceroute.Key) *Engine {
 	return s.shards[s.shardIdxOf(k)]
 }
 
-// drainLocked replays the buffered observations into every shard, one
-// worker goroutine per shard, and waits for all of them. Shards touch only
-// shard-local state during replay, so the only synchronization needed is
-// the final barrier.
-func (s *Sharded) drainLocked() {
-	if len(s.ops) == 0 {
-		return
-	}
-	ops := s.ops
-	s.ops = nil
-	var wg sync.WaitGroup
-	for i, sh := range s.shards {
-		wg.Add(1)
-		go func(i int, e *Engine) {
-			defer wg.Done()
-			for j := range ops {
-				if ops[j].trace != nil {
-					e.observePrepared(ops[j].trace)
-				} else {
-					e.observeBGPChange(ops[j].update, ops[j].change)
-				}
-			}
-			s.met.obs[i].Add(uint64(len(ops)))
-		}(i, sh)
-	}
-	wg.Wait()
-}
-
 // ObserveBGP ingests one BGP update: it is applied to the shared RIB once
-// and the classified change is broadcast to every shard's window state.
+// and the classified change is folded into the shared window state once.
+// No per-shard work happens until CloseWindow.
 func (s *Sharded) ObserveBGP(u bgp.Update) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.shards) == 1 {
-		s.shards[0].ObserveBGP(u)
-		s.met.obs[0].Inc()
-		return
-	}
 	if bgp.FilterTooSpecific(u.Prefix) {
 		return
 	}
-	s.ops = append(s.ops, shardOp{update: u, change: s.rib.Apply(u)})
-	if len(s.ops) >= shardFlushThreshold {
-		s.drainLocked()
-	}
+	s.sh.observeBGPChange(u, s.rib.Apply(u))
+	s.met.obs.Inc()
 }
 
-// ObservePublicTrace ingests one public traceroute: patching and border
-// mapping run once on the caller's goroutine and the prepared result is
-// broadcast to every shard.
+// ObservePublicTrace ingests one public traceroute: patching, border
+// mapping, and the shared-series observation all run exactly once on the
+// caller's goroutine. Only a §4.2.3 IXP join fans out per shard, because
+// turning a join into signals scans each shard's own corpus slice.
 func (s *Sharded) ObservePublicTrace(t *traceroute.Traceroute) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.shards) == 1 {
-		s.shards[0].ObservePublicTrace(t)
-		s.met.obs[0].Inc()
-		return
-	}
-	s.ops = append(s.ops, shardOp{trace: prepareTrace(s.patcher, s.mapper, s.aliases, t)})
-	if len(s.ops) >= shardFlushThreshold {
-		s.drainLocked()
-	}
+	pt := prepareTrace(s.patcher, s.mapper, s.aliases, t)
+	s.sh.observeTrace(pt, func(ixp int, member bgp.ASN, when int64) {
+		for _, e := range s.shards {
+			e.pendingIXP = append(e.pendingIXP, e.ixpJoinSignals(ixp, member, when)...)
+		}
+	})
+	s.met.obs.Inc()
 }
 
-// CloseWindow finishes the window starting at ws on every shard in
-// parallel (each worker first replays any buffered observations, in feed
-// order, then closes its shard) and returns the merged, totally-ordered
-// signal stream.
+// CloseWindow finishes the window starting at ws: the shared close phase
+// runs once on the caller's goroutine, the per-shard phase runs on one
+// worker per shard, and the per-shard sorted streams are k-way merged into
+// the totally-ordered result.
 func (s *Sharded) CloseWindow(ws int64) []Signal {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,51 +142,52 @@ func (s *Sharded) CloseWindow(ws int64) []Signal {
 		s.met.close[0].Observe(time.Since(start).Seconds())
 		return sigs
 	}
-	ops := s.ops
-	s.ops = nil
+	sc := s.sh.closeShared(ws, ws+s.cfg.WindowSec)
+
+	// Route the shared-series signals to the shards owning their pairs;
+	// each bucket preserves the serial emission order for its keys.
+	buckets := make([][]Signal, len(s.shards))
+	for _, sig := range sc.traceSigs {
+		i := s.shardIdxOf(sig.Key)
+		buckets[i] = append(buckets[i], sig)
+	}
+
 	results := make([][]Signal, len(s.shards))
-	var wg sync.WaitGroup
-	for i, sh := range s.shards {
-		wg.Add(1)
-		go func(i int, e *Engine) {
-			defer wg.Done()
+	if runtime.GOMAXPROCS(0) == 1 {
+		// One executor: goroutine fan-out only adds scheduling overhead.
+		for i, e := range s.shards {
 			start := time.Now()
-			for j := range ops {
-				if ops[j].trace != nil {
-					e.observePrepared(ops[j].trace)
-				} else {
-					e.observeBGPChange(ops[j].update, ops[j].change)
-				}
-			}
-			results[i] = e.CloseWindow(ws)
-			s.met.obs[i].Add(uint64(len(ops)))
+			results[i] = e.closeOwned(ws, sc, buckets[i])
 			s.met.close[i].Observe(time.Since(start).Seconds())
-		}(i, sh)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, e *Engine) {
+				defer wg.Done()
+				start := time.Now()
+				results[i] = e.closeOwned(ws, sc, buckets[i])
+				s.met.close[i].Observe(time.Since(start).Seconds())
+			}(i, sh)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	var sigs []Signal
-	for _, r := range results {
-		sigs = append(sigs, r...)
-	}
-	sortSignals(sigs)
-	return sigs
+	s.sh.resetWindow()
+	return mergeSortedSignals(results)
 }
 
-// AddCorpusEntry registers a processed corpus traceroute: fully on the
-// owning shard, as shared-series replicas everywhere else.
+// AddCorpusEntry registers a processed corpus traceroute on the shard
+// owning its pair. Shared series (extra-AS, subpath, border-router) are
+// created in or joined from the single shared state, so no replication is
+// needed on the other shards.
 func (s *Sharded) AddCorpusEntry(en *corpus.Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.drainLocked()
 	i := s.shardIdxOf(en.Key)
 	owner := s.shards[i]
 	owner.AddCorpusEntry(en)
 	s.met.pairs[i].Set(int64(owner.NumEntries()))
-	for _, sh := range s.shards {
-		if sh != owner {
-			sh.shadowRegister(en)
-		}
-	}
 }
 
 // Reregister replaces the pair's entry and monitors with a fresh
@@ -241,23 +195,15 @@ func (s *Sharded) AddCorpusEntry(en *corpus.Entry) {
 func (s *Sharded) Reregister(en *corpus.Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.drainLocked()
-	owner := s.shardOf(en.Key)
-	owner.Reregister(en)
-	for _, sh := range s.shards {
-		if sh != owner {
-			sh.shadowRegister(en)
-		}
-	}
+	s.shardOf(en.Key).Reregister(en)
 }
 
-// RemovePair unregisters a corpus pair. Shared-series replicas persist on
-// all shards, exactly as the serial engine keeps shared monitors alive
-// after their last watcher leaves.
+// RemovePair unregisters a corpus pair. Shared series persist, exactly as
+// the serial engine keeps shared monitors alive after their last watcher
+// leaves.
 func (s *Sharded) RemovePair(k traceroute.Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.drainLocked()
 	i := s.shardIdxOf(k)
 	s.shards[i].RemovePair(k)
 	s.met.pairs[i].Set(int64(s.shards[i].NumEntries()))
@@ -268,7 +214,6 @@ func (s *Sharded) RemovePair(k traceroute.Key) {
 func (s *Sharded) EvaluateRefresh(en *corpus.Entry) (bordermap.ChangeClass, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.drainLocked()
 	return s.shardOf(en.Key).EvaluateRefresh(en)
 }
 
@@ -329,8 +274,8 @@ func (s *Sharded) SignalCounts() map[Technique]int {
 }
 
 // ActivePairs counts pairs with at least one active signal. A pair's
-// active signals live only on its owning shard (shadow replicas carry no
-// watchers), so the per-shard sum is exact.
+// active signals live only on its owning shard, so the per-shard sum is
+// exact.
 func (s *Sharded) ActivePairs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -362,12 +307,11 @@ func (s *Sharded) WindowsClosed() int {
 
 // MonitorStats reports monitor state across all shards. Per-pair monitors
 // (AS-path, burst, community) are summed over the shards that own them;
-// shared series (subpaths, borders, extras, IXP state) are replicated
-// identically on every shard, so shard 0's view is the deduplicated total.
+// shared series (subpaths, borders, extras, IXP state) live in the single
+// shared state, so any shard's view of them is the total.
 func (s *Sharded) MonitorStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.drainLocked()
 	st := s.shards[0].MonitorStats()
 	if len(s.shards) == 1 {
 		return st
@@ -382,24 +326,20 @@ func (s *Sharded) MonitorStats() Stats {
 	return st
 }
 
-// SetInitialIXPMembership seeds §4.2.3's membership snapshot on every
-// shard.
+// SetInitialIXPMembership seeds §4.2.3's membership snapshot in the shared
+// state.
 func (s *Sharded) SetInitialIXPMembership(members map[int][]bgp.ASN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, sh := range s.shards {
-		sh.SetInitialIXPMembership(members)
-	}
+	s.shards[0].SetInitialIXPMembership(members)
 }
 
 // AllowPrivatePeerSignals enables IXP signals through private peers of the
-// AS (§4.2.3's learned exception) on every shard.
+// AS (§4.2.3's learned exception).
 func (s *Sharded) AllowPrivatePeerSignals(as bgp.ASN) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, sh := range s.shards {
-		sh.AllowPrivatePeerSignals(as)
-	}
+	s.shards[0].AllowPrivatePeerSignals(as)
 }
 
 // RefreshPlan selects up to budget flagged pairs to remeasure (§4.3.1),
@@ -407,7 +347,6 @@ func (s *Sharded) AllowPrivatePeerSignals(as bgp.ASN) {
 func (s *Sharded) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.drainLocked()
 	if len(s.shards) == 1 {
 		return s.shards[0].RefreshPlan(budget, rng)
 	}

@@ -10,7 +10,6 @@ import (
 	"rrr/internal/bordermap"
 	"rrr/internal/corpus"
 	"rrr/internal/traceroute"
-	"rrr/internal/trie"
 )
 
 // subpathMonitor implements §4.2.1 for one monitored IP-level subpath.
@@ -59,6 +58,7 @@ type borderGroup struct {
 
 type borderRouterSeries struct {
 	id       int
+	gk       borderGroupKey
 	router   int
 	watchers []subpathWatcher
 
@@ -72,22 +72,9 @@ func (e *Engine) AddCorpusEntry(en *corpus.Entry) {
 	e.entries[en.Key] = en
 	e.destToKeys[en.Key.Dst] = append(e.destToKeys[en.Key.Dst], en.Key)
 
-	e.registerBGPMonitors(en, true)
-	e.registerSubpathMonitors(en, true)
-	e.registerBorderMonitors(en, true)
-}
-
-// shadowRegister replicates the entry's shared monitors (subpaths, border-
-// router series, extra-AS series) without attaching any watcher or
-// registration. A Sharded engine calls it on every shard that does not own
-// the entry, so shared series exist on all shards from the same moment and
-// evolve identically to the serial engine's single instance — a later
-// entry joining the series on any shard finds it as warmed-up as the
-// serial engine would have it.
-func (e *Engine) shadowRegister(en *corpus.Entry) {
-	e.registerBGPMonitors(en, false)
-	e.registerSubpathMonitors(en, false)
-	e.registerBorderMonitors(en, false)
+	e.registerBGPMonitors(en)
+	e.registerSubpathMonitors(en)
+	e.registerBorderMonitors(en)
 }
 
 // registerSubpathMonitors creates (or joins) §4.2.1 monitors for each
@@ -95,7 +82,7 @@ func (e *Engine) shadowRegister(en *corpus.Entry) {
 // AS boundaries: interdomain segments give the reliable signals, while
 // intradomain segments churn with traffic engineering (§4.2's first
 // accuracy rule).
-func (e *Engine) registerSubpathMonitors(en *corpus.Entry, attach bool) {
+func (e *Engine) registerSubpathMonitors(en *corpus.Entry) {
 	if e.cfg.disabled(TechTraceSubpath) {
 		return
 	}
@@ -113,19 +100,15 @@ func (e *Engine) registerSubpathMonitors(en *corpus.Entry, attach bool) {
 			return
 		}
 		key := subpathKeyOf(ips)
-		mon, ok := e.subpaths[key]
+		mon, ok := e.sh.subpaths[key]
 		if !ok {
 			// Monitors shared across entries take their ID by name from
-			// the shared allocator: every shard's replica of the same
-			// subpath reports the same MonitorID, and the allocation
-			// sequence matches the serial engine's (only the first use of
-			// a name allocates).
+			// the shared allocator: only the first use of a name
+			// allocates, so the sequence matches the serial engine's.
 			mon = &subpathMonitor{id: e.ids.idFor("sub:" + key), ips: ips, last: ips[len(ips)-1]}
-			e.subpaths[key] = mon
-			e.subByStart[ips[0]] = append(e.subByStart[ips[0]], mon)
-		}
-		if !attach {
-			return
+			e.sh.subpaths[key] = mon
+			e.sh.subByStart[ips[0]] = append(e.sh.subByStart[ips[0]], mon)
+			e.sh.subSorted = nil
 		}
 		mon.watchers = append(mon.watchers, subpathWatcher{key: en.Key, borders: []int{bi}})
 		e.subByKey[en.Key] = append(e.subByKey[en.Key], mon)
@@ -187,52 +170,31 @@ func subpathKeyOf(ips []uint32) string {
 // registerBorderMonitors creates (or joins) §4.2.2 monitors: one ratio
 // series per (inter-city AS adjacency, border router) the entry uses.
 // Crossings whose endpoints cannot be geolocated are skipped (Appendix A).
-func (e *Engine) registerBorderMonitors(en *corpus.Entry, attach bool) {
+func (e *Engine) registerBorderMonitors(en *corpus.Entry) {
 	if e.geo == nil || e.cfg.disabled(TechTraceBorder) {
 		return
 	}
 	for bi, b := range en.Borders {
-		gk, router, ok := e.borderGroupOf(b, en.MeasuredAt)
+		gk, router, ok := e.sh.borderGroupOf(b, en.MeasuredAt)
 		if !ok {
 			continue
 		}
-		grp := e.borders[gk]
+		grp := e.sh.borders[gk]
 		if grp == nil {
 			grp = &borderGroup{key: gk, routers: make(map[int]*borderRouterSeries)}
-			e.borders[gk] = grp
+			e.sh.borders[gk] = grp
 		}
 		rs := grp.routers[router]
 		if rs == nil {
 			name := fmt.Sprintf("brs:%d/%d-%d/%d@%d", gk.FromAS, gk.FromC, gk.ToAS, gk.ToC, router)
-			rs = &borderRouterSeries{id: e.ids.idFor(name), router: router}
+			rs = &borderRouterSeries{id: e.ids.idFor(name), gk: gk, router: router}
 			grp.routers[router] = rs
-		}
-		if !attach {
-			continue
+			e.sh.borderSorted = nil
 		}
 		rs.watchers = append(rs.watchers, subpathWatcher{key: en.Key, borders: []int{bi}})
 		e.brsByKey[en.Key] = append(e.brsByKey[en.Key], rs)
 		e.addReg(en.Key, Registration{MonitorID: rs.id, Technique: TechTraceBorder, Borders: []int{bi}})
 	}
-}
-
-// borderGroupOf geolocates a crossing's endpoints into the group key and
-// resolves the border router identity. Same-city crossings are excluded
-// (§4.2.2 requires c_m ≠ c_n).
-func (e *Engine) borderGroupOf(b bordermap.BorderHop, when int64) (borderGroupKey, int, bool) {
-	cm, ok := e.geo.LocateCity(b.NearIP, when)
-	if !ok {
-		return borderGroupKey{}, 0, false
-	}
-	cn, ok := e.geo.LocateCity(b.FarIP, when)
-	if !ok || cm == cn {
-		return borderGroupKey{}, 0, false
-	}
-	router := b.Router
-	if router == 0 {
-		router = -int(b.FarIP)
-	}
-	return borderGroupKey{FromAS: b.FromAS, FromC: cm, ToAS: b.ToAS, ToC: cn}, router, true
 }
 
 // preparedTrace is a public traceroute after patching and border mapping:
@@ -265,74 +227,13 @@ func (e *Engine) ObservePublicTrace(t *traceroute.Traceroute) {
 	e.observePrepared(prepareTrace(e.patcher, e.mapper, e.aliases, t))
 }
 
-// observePrepared folds one prepared public traceroute into the shard's
-// monitor state. It touches only shard-local state (plus read-only
-// services), so shards can run it concurrently on the same preparedTrace.
+// observePrepared folds one prepared public traceroute into the shared
+// series (once) and turns any detected IXP joins into per-pair signals by
+// scanning this engine's own corpus slice.
 func (e *Engine) observePrepared(pt *preparedTrace) {
-	path := pt.path
-
-	// §4.2.1: subpath observations.
-	for i, ip := range path {
-		if ip == 0 {
-			continue
-		}
-		for _, mon := range e.subByStart[ip] {
-			// Intersect: the trace passes ι_m then later ι_n.
-			_, endIdx, via := traceroute.TraversesVia(path[i:], ip, mon.last)
-			if !via {
-				continue
-			}
-			// Match: the anchors appear in order. Anchors are border
-			// interfaces; intra-domain hops between them may differ
-			// across flows and over time without indicating a border
-			// change (§4.2's interdomain-only rule). A failed match that
-			// could be explained by an unresponsive hop in the span is
-			// unknown — wildcards cannot indicate a change (Appendix A) —
-			// and is dropped.
-			match := matchesSparse(path[i:], mon.ips)
-			if !match && spanHasHole(path[i:], endIdx) {
-				continue
-			}
-			if DebugSubpath != nil && !match {
-				DebugSubpath(mon.ips, path, match)
-			}
-			if mon.series != nil {
-				mon.series.Observe(pt.time, boolVal(match))
-			} else {
-				mon.buf = append(mon.buf, subObs{t: pt.time, match: match})
-				mon.activate(e.cfg.PublicLadder, pt.time)
-			}
-		}
-	}
-
-	// §4.2.2 and §4.2.3 consume the border path.
-	if e.geo != nil {
-		for _, b := range pt.borders {
-			// An unresponsive hop between near and far may hide the true
-			// ingress router: the crossing is a wildcard, not evidence.
-			if b.FarIdx != b.NearIdx+1 {
-				continue
-			}
-			gk, router, ok := e.borderGroupOf(b, pt.time)
-			if !ok {
-				continue
-			}
-			grp := e.borders[gk]
-			if grp == nil {
-				continue
-			}
-			for _, rs := range grp.routers {
-				if rs.series != nil {
-					rs.series.Observe(pt.time, boolVal(rs.router == router))
-					continue
-				}
-				rs.buf = append(rs.buf, subObs{t: pt.time, match: rs.router == router})
-				rs.activate(e.cfg.PublicLadder, pt.time)
-			}
-		}
-	}
-
-	e.pendingIXP = append(e.pendingIXP, e.observeIXP(pt.borders, pt.time)...)
+	e.sh.observeTrace(pt, func(ixp int, member bgp.ASN, when int64) {
+		e.pendingIXP = append(e.pendingIXP, e.ixpJoinSignals(ixp, member, when)...)
+	})
 }
 
 // matchesSparse reports whether the anchors appear in order within path,
@@ -420,45 +321,6 @@ func boolVal(b bool) float64 {
 	return 0
 }
 
-// observeIXP implements §4.2.3: watch for ASes newly appearing as near-end
-// neighbors of IXP interfaces, then flag corpus traceroutes that might now
-// route through the new membership.
-func (e *Engine) observeIXP(borders []bordermap.BorderHop, when int64) []Signal {
-	if e.cfg.disabled(TechIXPMembership) {
-		return nil
-	}
-	var sigs []Signal
-	for _, b := range borders {
-		if b.IXP == 0 {
-			continue
-		}
-		// Near-end (left-adjacent) neighbor of the IXP interface.
-		member := b.FromAS
-		known := e.ixpMembers[b.IXP]
-		if known == nil {
-			known = make(map[bgp.ASN]bool)
-			e.ixpMembers[b.IXP] = known
-		}
-		obs := e.ixpObserved[b.IXP]
-		if obs == nil {
-			obs = make(map[bgp.ASN]bool)
-			e.ixpObserved[b.IXP] = obs
-		}
-		if known[member] || obs[member] {
-			continue
-		}
-		obs[member] = true
-		// During bootstrap, observed members augment the snapshot without
-		// signaling (the paper builds its initial membership from
-		// PeeringDB plus traceroute-observed adjacencies).
-		if when < e.cfg.IXPBootstrapSec {
-			continue
-		}
-		sigs = append(sigs, e.ixpJoinSignals(b.IXP, member, when)...)
-	}
-	return sigs
-}
-
 // ixpJoinSignals scans the corpus for traceroutes that include the new
 // member AS_i and, later, another member AS_j, and generates signals
 // according to the relationship between AS_i and its current next hop
@@ -467,7 +329,7 @@ func (e *Engine) ixpJoinSignals(ixp int, asI bgp.ASN, when int64) []Signal {
 	if e.rel == nil {
 		return nil
 	}
-	members := e.ixpMembers[ixp]
+	members := e.sh.ixpMembers[ixp]
 	var sigs []Signal
 	keys := make([]traceroute.Key, 0, len(e.entries))
 	for k := range e.entries {
@@ -488,7 +350,7 @@ func (e *Engine) ixpJoinSignals(ixp int, asI bgp.ASN, when int64) []Signal {
 		// A later hop that is already a member of the exchange.
 		foundJ := -1
 		for j := idxI + 1; j < len(en.ASPath); j++ {
-			if members[en.ASPath[j]] || e.ixpObserved[ixp][en.ASPath[j]] {
+			if members[en.ASPath[j]] || e.sh.ixpObserved[ixp][en.ASPath[j]] {
 				foundJ = j
 				break
 			}
@@ -508,7 +370,7 @@ func (e *Engine) ixpJoinSignals(ixp int, asI bgp.ASN, when int64) []Signal {
 			// Equal relationship class: shortest AS path wins.
 			emit = true
 		case RelPeerPrivate:
-			emit = e.allowPriv[asI]
+			emit = e.sh.allowPriv[asI]
 		}
 		if !emit {
 			continue
@@ -566,20 +428,20 @@ type Stats struct {
 // series have accumulated enough data to activate.
 func (e *Engine) MonitorStats() Stats {
 	st := Stats{
-		SubpathMonitors:  len(e.subpaths),
-		BorderGroups:     len(e.borders),
+		SubpathMonitors:  len(e.sh.subpaths),
+		BorderGroups:     len(e.sh.borders),
 		ASPathMonitors:   len(e.asp) - e.deadASP,
 		BurstMonitors:    len(e.bursts),
-		ExtraSeries:      len(e.extras),
+		ExtraSeries:      len(e.sh.extras),
 		CommunityTargets: len(e.comms),
 	}
-	for _, m := range e.subpaths {
+	for _, m := range e.sh.subpaths {
 		if m.series != nil {
 			st.SubpathActive++
 		}
 		st.SubpathBuffered += len(m.buf)
 	}
-	for _, grp := range e.borders {
+	for _, grp := range e.sh.borders {
 		st.BorderSeries += len(grp.routers)
 		for _, rs := range grp.routers {
 			if rs.series != nil {
@@ -587,7 +449,7 @@ func (e *Engine) MonitorStats() Stats {
 			}
 		}
 	}
-	for _, m := range e.ixpObserved {
+	for _, m := range e.sh.ixpObserved {
 		st.IXPObservedASes += len(m)
 	}
 	return st
@@ -597,55 +459,27 @@ func (e *Engine) MonitorStats() Stats {
 // BGP series are evaluated, traceroute series are advanced past the window
 // end, revocation runs, and the window's signals are returned. Callers must
 // invoke it once per WindowSec with monotonically increasing ws.
+//
+// It runs in two phases: closeShared evaluates the series shared across
+// pairs exactly once, then closeOwned evaluates this engine's per-pair
+// monitors. A Sharded engine drives the same two phases itself — shared
+// once on the dispatcher, owned in parallel per shard — so the serial and
+// sharded streams are byte-identical by construction.
 func (e *Engine) CloseWindow(ws int64) []Signal {
-	sigs := e.closeBGPWindow(ws)
-	end := ws + e.cfg.WindowSec
+	sc := e.sh.closeShared(ws, ws+e.cfg.WindowSec)
+	sigs := e.closeOwned(ws, sc, sc.traceSigs)
+	e.sh.resetWindow()
+	return sigs
+}
 
-	// §4.2.1 subpath series.
-	for _, key := range sortedSubpathKeys(e.subpaths) {
-		mon := e.subpaths[key]
-		if mon.series == nil {
-			continue
-		}
-		for _, o := range mon.series.AdvanceTo(end) {
-			for _, w := range mon.watchers {
-				sigs = append(sigs, Signal{
-					Technique:   TechTraceSubpath,
-					Key:         w.key,
-					MonitorID:   mon.id,
-					WindowStart: o.WindowStart,
-					Borders:     w.borders,
-					Detail:      fmt.Sprintf("subpath %s ratio %.2f", trie.FormatIP(mon.ips[0]), o.Value),
-					Score:       o.Score,
-					IPOverlap:   len(mon.ips),
-				})
-			}
-		}
-	}
-
-	// §4.2.2 border-router series.
-	for _, gk := range sortedGroupKeys(e.borders) {
-		grp := e.borders[gk]
-		for _, rid := range sortedRouterIDs(grp.routers) {
-			rs := grp.routers[rid]
-			if rs.series == nil {
-				continue
-			}
-			for _, o := range rs.series.AdvanceTo(end) {
-				for _, w := range rs.watchers {
-					sigs = append(sigs, Signal{
-						Technique:   TechTraceBorder,
-						Key:         w.key,
-						MonitorID:   rs.id,
-						WindowStart: o.WindowStart,
-						Borders:     w.borders,
-						Detail:      fmt.Sprintf("border %s->%s router shift", gk.FromAS, gk.ToAS),
-						Score:       o.Score,
-					})
-				}
-			}
-		}
-	}
+// closeOwned finishes the window for the monitors this engine owns:
+// per-pair BGP series, the routed share of the window's subpath/border
+// signals (traceSigs), pending IXP signals, active-signal tracking, and
+// revocation. It only reads shared state; all shared mutation happened in
+// closeShared, so shards can run closeOwned concurrently.
+func (e *Engine) closeOwned(ws int64, sc *sharedClose, traceSigs []Signal) []Signal {
+	sigs := e.closeBGPWindow(ws, sc)
+	sigs = append(sigs, traceSigs...)
 
 	// Drain pending IXP signals produced during the window.
 	sigs = append(sigs, e.pendingIXP...)
@@ -660,9 +494,6 @@ func (e *Engine) CloseWindow(ws int64) []Signal {
 		e.revokeReverted()
 	}
 
-	// Reset per-window BGP state.
-	e.winUpdates = make(map[vpPrefix]*vpWindowState)
-	e.winComms = e.winComms[:0]
 	e.window = ws + e.cfg.WindowSec
 	e.windowsClosed++
 

@@ -89,6 +89,13 @@ type Lab struct {
 	CorpusProbes []*platform.Probe
 	Anchors      []*platform.Probe
 
+	// OnPublicTrace, when set, receives each public traceroute instead of
+	// the engine. The engine bench uses it to record one window's feed and
+	// replay it per shard count, so the timed loop contains engine work
+	// only (trace generation is identical across shard counts anyway —
+	// same seed — but its cost is not engine cost).
+	OnPublicTrace func(tr *traceroute.Traceroute)
+
 	patcher *traceroute.Patcher
 	rng     *rand.Rand
 }
@@ -227,7 +234,11 @@ func (l *Lab) PublicRound(n int, when int64) {
 		dstAS := asns[l.rng.Intn(len(asns))]
 		dst := l.Sim.T.HostIP(dstAS, 1+l.rng.Intn(20))
 		tr := l.Sim.Traceroute(probe.ID, probe.IP, dst, when)
-		l.Engine.ObservePublicTrace(tr)
+		if l.OnPublicTrace != nil {
+			l.OnPublicTrace(tr)
+		} else {
+			l.Engine.ObservePublicTrace(tr)
+		}
 	}
 }
 

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+
+	"rrr"
+	"rrr/internal/obs"
+)
+
+// cachedVerdict is a fully-rendered staleness answer: the wire JSON plus
+// the one field handlers still need (the batch endpoint's stale count).
+// Caching rendered bytes rather than Verdict structs means a hit skips
+// not just the monitor's lock but the per-request JSON encoding — on the
+// batch endpoint the response body is assembled from RawMessages.
+type cachedVerdict struct {
+	Stale bool
+	JSON  json.RawMessage
+}
+
+// defaultCacheCap bounds the verdict cache so a scan over millions of
+// untracked keys cannot balloon resident memory; at the cap, new verdicts
+// are served but not retained.
+const defaultCacheCap = 1 << 16
+
+// verdictCache memoizes staleness verdicts between Monitor state
+// transitions. Verdicts are immutable while the Monitor's StateVersion is
+// unchanged (signals only appear and disappear on window closes,
+// refreshes, tracking changes, and restores — never on raw feed
+// ingestion), so a verdict stamped with the current version can be served
+// without touching the Monitor's lock at all. Invalidation is lazy: the
+// first lookup after a version change drops the whole generation, because
+// a window close or restore can change any pair's answer.
+type verdictCache struct {
+	mu      sync.RWMutex
+	version uint64
+	entries map[rrr.Key]cachedVerdict
+	cap     int
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
+	size          *obs.Gauge
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	obs.Default.Help("rrr_server_verdict_cache_hits_total", "staleness verdicts served from the version-stamped cache without locking the monitor")
+	obs.Default.Help("rrr_server_verdict_cache_misses_total", "staleness verdicts computed against the live monitor (cache empty, evicted, or invalidated)")
+	obs.Default.Help("rrr_server_verdict_cache_invalidations_total", "cache generations dropped because the monitor's verdict state version changed")
+	obs.Default.Help("rrr_server_verdict_cache_size", "verdicts currently retained in the cache")
+	return &verdictCache{
+		entries:       make(map[rrr.Key]cachedVerdict),
+		cap:           capacity,
+		hits:          obs.Default.Counter("rrr_server_verdict_cache_hits_total"),
+		misses:        obs.Default.Counter("rrr_server_verdict_cache_misses_total"),
+		invalidations: obs.Default.Counter("rrr_server_verdict_cache_invalidations_total"),
+		size:          obs.Default.Gauge("rrr_server_verdict_cache_size"),
+	}
+}
+
+// get returns the cached verdict for k if it was stamped with version.
+// A version mismatch drops the stale generation before reporting a miss.
+func (c *verdictCache) get(k rrr.Key, version uint64) (cachedVerdict, bool) {
+	c.mu.RLock()
+	if c.version == version {
+		if v, ok := c.entries[k]; ok {
+			c.mu.RUnlock()
+			c.hits.Inc()
+			return v, true
+		}
+		c.mu.RUnlock()
+		c.misses.Inc()
+		return cachedVerdict{}, false
+	}
+	c.mu.RUnlock()
+	c.invalidate(version)
+	c.misses.Inc()
+	return cachedVerdict{}, false
+}
+
+// invalidate drops the current generation and restamps the cache.
+func (c *verdictCache) invalidate(version uint64) {
+	c.mu.Lock()
+	if c.version != version {
+		if len(c.entries) > 0 {
+			c.entries = make(map[rrr.Key]cachedVerdict)
+			c.invalidations.Inc()
+		}
+		c.version = version
+	}
+	c.mu.Unlock()
+	c.size.Set(int64(c.len()))
+}
+
+// put retains v for k if version still matches the cache generation and
+// the cache is not full. Verdicts computed against an older version are
+// simply not retained — the next lookup recomputes.
+func (c *verdictCache) put(k rrr.Key, v cachedVerdict, version uint64) {
+	c.mu.Lock()
+	if c.version == version && len(c.entries) < c.cap {
+		c.entries[k] = v
+	}
+	n := len(c.entries)
+	c.mu.Unlock()
+	c.size.Set(int64(n))
+}
+
+func (c *verdictCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rrr"
+)
+
+// cacheDeltas samples the verdict-cache counters (which live in the global
+// obs registry, hence deltas rather than absolutes) around fn.
+func cacheDeltas(s *Server, fn func()) (hits, misses, invalidations uint64) {
+	h0, m0, i0 := s.cache.hits.Value(), s.cache.misses.Value(), s.cache.invalidations.Value()
+	fn()
+	return s.cache.hits.Value() - h0, s.cache.misses.Value() - m0, s.cache.invalidations.Value() - i0
+}
+
+// TestVerdictCacheHitBetweenCloses: between Monitor state transitions a
+// pair's verdict is immutable, so the second identical query must be
+// served from the cache — and be byte-identical to the first answer.
+func TestVerdictCacheHitBetweenCloses(t *testing.T) {
+	m, stale, _ := newStaleMonitor(t)
+	srv := New(m, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	path := "/v1/stale/" + FormatKey(stale.Key())
+
+	var first, second Verdict
+	_, misses, _ := cacheDeltas(srv, func() { getJSON(t, ts, path, &first) })
+	if misses != 1 {
+		t.Fatalf("cold query: misses = %d, want 1", misses)
+	}
+	hits, misses, _ := cacheDeltas(srv, func() { getJSON(t, ts, path, &second) })
+	if hits != 1 || misses != 0 {
+		t.Fatalf("warm query: hits = %d, misses = %d, want 1, 0", hits, misses)
+	}
+	if !second.Stale || len(second.Signals) != len(first.Signals) || second.Key != first.Key {
+		t.Fatalf("cached verdict diverges: first %+v, second %+v", first, second)
+	}
+}
+
+// TestVerdictCacheInvalidatedByWindowClose: a pair that goes stale in a
+// later window must not keep serving its cached fresh verdict.
+func TestVerdictCacheInvalidatedByWindowClose(t *testing.T) {
+	m, _, fresh := newStaleMonitor(t)
+	srv := New(m, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	path := "/v1/stale/" + FormatKey(fresh.Key())
+
+	var v Verdict
+	getJSON(t, ts, path, &v)
+	if v.Stale {
+		t.Fatalf("setup: fresh pair already stale: %+v", v)
+	}
+
+	// The fresh pair's route (6 7) changes its AS path; the next window
+	// close emits the signal and bumps the monitor's state version.
+	m.ObserveBGP(announceUpd(t, 46*900+5, "6.0.0.9", 6, "7.0.0.0/8", []rrr.ASN{6, 9, 7}))
+	m.Advance(47 * 900)
+
+	_, misses, invalidations := cacheDeltas(srv, func() { getJSON(t, ts, path, &v) })
+	if !v.Stale {
+		t.Fatalf("verdict still fresh after window close: %+v", v)
+	}
+	if misses != 1 || invalidations != 1 {
+		t.Fatalf("post-close query: misses = %d, invalidations = %d, want 1, 1", misses, invalidations)
+	}
+}
+
+// TestVerdictCacheInvalidatedByRefresh: recording a refresh clears the
+// pair's signals; the cached stale verdict must die with them.
+func TestVerdictCacheInvalidatedByRefresh(t *testing.T) {
+	m, stale, _ := newStaleMonitor(t)
+	srv := New(m, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	path := "/v1/stale/" + FormatKey(stale.Key())
+
+	var v Verdict
+	getJSON(t, ts, path, &v)
+	if !v.Stale {
+		t.Fatalf("setup: pair not stale: %+v", v)
+	}
+
+	rec := traceJSON{
+		Time: 46 * 900, Src: "1.0.0.1", Dst: "4.0.0.9",
+		Hops: []hopJSON{{IP: "1.0.0.2"}, {IP: "2.0.0.1"}, {IP: "9.0.0.1"}, {IP: "4.0.0.3"}, {IP: "4.0.0.9"}},
+	}
+	if code := postJSON(t, ts, "/v1/refresh/record", rec, nil); code != http.StatusOK {
+		t.Fatalf("refresh status = %d", code)
+	}
+	getJSON(t, ts, path, &v)
+	if v.Stale {
+		t.Fatalf("cached stale verdict survived the refresh: %+v", v)
+	}
+}
+
+// TestVerdictCacheInvalidatedByRestore is the dangerous case: a server
+// answers "untracked" for a key, caches it, and then the monitor restores
+// a snapshot in which that key is tracked and stale. The cached pre-restore
+// verdict must not survive.
+func TestVerdictCacheInvalidatedByRestore(t *testing.T) {
+	m, stale, _ := newStaleMonitor(t)
+	snap := m.Snapshot()
+
+	m2 := newTestMonitor(t)
+	srv := New(m2, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	path := "/v1/stale/" + FormatKey(stale.Key())
+
+	var v Verdict
+	getJSON(t, ts, path, &v)
+	if v.Tracked || v.Stale {
+		t.Fatalf("setup: empty monitor answered %+v", v)
+	}
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts, path, &v)
+	if !v.Tracked || !v.Stale {
+		t.Fatalf("cached pre-restore verdict survived: %+v", v)
+	}
+}
+
+// TestBatchDedupSingleComputation: a batch of N copies of one key resolves
+// the verdict exactly once (one cache miss), and every response slot gets
+// the same answer.
+func TestBatchDedupSingleComputation(t *testing.T) {
+	m, stale, _ := newStaleMonitor(t)
+	srv := New(m, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 64
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = FormatKey(stale.Key())
+	}
+	var out struct {
+		Verdicts []Verdict `json:"verdicts"`
+		Stale    int       `json:"stale"`
+	}
+	hits, misses, _ := cacheDeltas(srv, func() {
+		if code := postJSON(t, ts, "/v1/stale", map[string]any{"keys": keys}, &out); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+	})
+	if misses != 1 || hits != 0 {
+		t.Fatalf("duplicate batch: misses = %d, hits = %d, want 1, 0", misses, hits)
+	}
+	if len(out.Verdicts) != n || out.Stale != n {
+		t.Fatalf("batch = %d verdicts, %d stale, want %d, %d", len(out.Verdicts), out.Stale, n, n)
+	}
+	for i := range out.Verdicts {
+		if !out.Verdicts[i].Stale || out.Verdicts[i].Key != keys[i] {
+			t.Fatalf("verdict %d = %+v", i, out.Verdicts[i])
+		}
+	}
+
+	// A second identical batch is all cache: one hit, zero misses.
+	hits, misses, _ = cacheDeltas(srv, func() {
+		postJSON(t, ts, "/v1/stale", map[string]any{"keys": keys}, &out)
+	})
+	if misses != 0 || hits != 1 {
+		t.Fatalf("warm duplicate batch: misses = %d, hits = %d, want 0, 1", misses, hits)
+	}
+}
+
+// TestVerdictCacheMetricFamilies: the four rrr_server_verdict_cache_*
+// families appear in /metrics once the cache has been exercised.
+func TestVerdictCacheMetricFamilies(t *testing.T) {
+	m, stale, _ := newStaleMonitor(t)
+	srv := New(m, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	getJSON(t, ts, "/v1/stale/"+FormatKey(stale.Key()), nil)
+	getJSON(t, ts, "/v1/stale/"+FormatKey(stale.Key()), nil)
+
+	fams := scrapeFamilies(t, ts)
+	for _, fam := range []string{
+		"rrr_server_verdict_cache_hits_total",
+		"rrr_server_verdict_cache_misses_total",
+		"rrr_server_verdict_cache_invalidations_total",
+		"rrr_server_verdict_cache_size",
+	} {
+		if !fams[fam] {
+			t.Errorf("missing family %s", fam)
+		}
+	}
+}

@@ -92,7 +92,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"rrr_monitor_refreshes_total",
 		"rrr_monitor_signals_total",
 		// sharded engine
-		"rrr_shard_observations_total",
+		"rrr_engine_observations_total",
 		"rrr_shard_pairs",
 		"rrr_shard_close_window_seconds",
 		// serving hub

@@ -24,9 +24,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -64,6 +66,9 @@ type Server struct {
 	hub *Hub
 	cfg Config
 	mux *http.ServeMux
+	// cache memoizes verdicts between Monitor state transitions, keyed by
+	// pair and stamped with the Monitor's StateVersion; see verdictCache.
+	cache *verdictCache
 	// ready gates GET /readyz: the daemon starts serving (liveness) while
 	// WAL recovery replays, and flips ready once the monitor's state is
 	// complete. Defaults to true so servers without a recovery phase are
@@ -81,7 +86,7 @@ func New(mon *rrr.Monitor, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 10000
 	}
-	s := &Server{mon: mon, hub: NewHub(cfg.RingSize), cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{mon: mon, hub: NewHub(cfg.RingSize), cfg: cfg, mux: http.NewServeMux(), cache: newVerdictCache(0)}
 	s.mux.HandleFunc("GET /v1/stale/{key}", s.handleStaleOne)
 	s.mux.HandleFunc("POST /v1/stale", s.handleStaleBatch)
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
@@ -190,27 +195,88 @@ type Verdict struct {
 	Signals           []signalJSON `json:"signals,omitempty"`
 }
 
-func (s *Server) verdict(k rrr.Key) Verdict {
-	v := Verdict{Key: FormatKey(k)}
-	en, ok := s.mon.Entry(k)
-	if !ok {
+// verdictFromState renders a Monitor pair snapshot as a wire verdict. The
+// signalJSON conversion copies each signal out of engine-internal storage,
+// so the resulting Verdict is safe to cache across state transitions.
+func verdictFromState(ps rrr.PairState) Verdict {
+	v := Verdict{Key: FormatKey(ps.Key)}
+	if !ps.Tracked {
 		v.Visibility = "untracked"
 		return v
 	}
 	v.Tracked = true
-	v.MeasuredAt = en.MeasuredAt
-	pot := s.mon.Potential(k)
-	v.PotentialMonitors = len(pot)
-	if len(pot) == 0 {
+	v.MeasuredAt = ps.MeasuredAt
+	v.PotentialMonitors = ps.Potential
+	if ps.Potential == 0 {
 		v.Visibility = "unknown"
 	} else {
 		v.Visibility = "known"
 	}
-	for _, sig := range s.mon.ActiveSignals(k) {
+	for _, sig := range ps.Signals {
 		v.Signals = append(v.Signals, toSignalJSON(sig))
 	}
 	v.Stale = len(v.Signals) > 0
 	return v
+}
+
+// renderVerdict computes and JSON-encodes the verdict for one pair
+// snapshot. Rendering happens once per (pair, state version) — cache hits
+// reuse the encoded bytes, so the hot read path does no reflection-driven
+// marshaling at all.
+func renderVerdict(ps rrr.PairState) cachedVerdict {
+	v := verdictFromState(ps)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable with finite detector scores; keep the wire JSON valid.
+		data = []byte(`{"error":"verdict encoding failed"}`)
+	}
+	return cachedVerdict{Stale: v.Stale, JSON: data}
+}
+
+// verdicts answers a batch of keys: repeated keys are deduplicated (each
+// unique key is resolved once), cached answers stamped with the current
+// state version are served without locking the Monitor, and all remaining
+// keys are read in one PairStates call — a single lock acquisition per
+// request rather than three per key.
+func (s *Server) verdicts(keys []rrr.Key) []cachedVerdict {
+	ver := s.mon.StateVersion()
+	out := make([]cachedVerdict, len(keys))
+	// first maps each key to its first occurrence; duplicate positions are
+	// back-filled from there after resolution, avoiding a per-key index
+	// slice on this hot path.
+	first := make(map[rrr.Key]int, len(keys))
+	uniq := make([]rrr.Key, 0, len(keys))
+	dups := false
+	for i, k := range keys {
+		if _, seen := first[k]; seen {
+			dups = true
+			continue
+		}
+		first[k] = i
+		uniq = append(uniq, k)
+	}
+	miss := uniq[:0]
+	for _, k := range uniq {
+		if v, ok := s.cache.get(k, ver); ok {
+			out[first[k]] = v
+		} else {
+			miss = append(miss, k)
+		}
+	}
+	if len(miss) > 0 {
+		states, sver := s.mon.PairStates(miss)
+		for _, ps := range states {
+			v := renderVerdict(ps)
+			s.cache.put(ps.Key, v, sver)
+			out[first[ps.Key]] = v
+		}
+	}
+	if dups {
+		for i, k := range keys {
+			out[i] = out[first[k]]
+		}
+	}
+	return out
 }
 
 // --- handlers ---
@@ -221,7 +287,11 @@ func (s *Server) handleStaleOne(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.verdict(k))
+	cv := s.verdicts([]rrr.Key{k})[0]
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(cv.JSON)
+	w.Write([]byte("\n"))
 }
 
 func (s *Server) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
@@ -241,24 +311,44 @@ func (s *Server) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d keys exceeds batch limit %d", len(req.Keys), s.cfg.MaxBatch))
 		return
 	}
-	verdicts := make([]Verdict, 0, len(req.Keys))
-	stale := 0
-	for _, ks := range req.Keys {
+	keys := make([]rrr.Key, len(req.Keys))
+	for i, ks := range req.Keys {
 		k, err := ParseKey(ks)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		v := s.verdict(k)
-		if v.Stale {
+		keys[i] = k
+	}
+	verdicts := s.verdicts(keys)
+	stale := 0
+	size := 0
+	for i := range verdicts {
+		size += len(verdicts[i].JSON) + 1
+		if verdicts[i].Stale {
 			stale++
 		}
-		verdicts = append(verdicts, v)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"verdicts": verdicts,
-		"stale":    stale,
-	})
+	// The verdict bodies are pre-rendered JSON; splice them directly
+	// instead of round-tripping through json.Marshal, which would re-scan
+	// (Compact) every byte of every cached verdict on every request.
+	var buf bytes.Buffer
+	buf.Grow(size + 64)
+	buf.WriteString(`{"stale":`)
+	buf.WriteString(strconv.Itoa(stale))
+	buf.WriteString(`,"count":`)
+	buf.WriteString(strconv.Itoa(len(verdicts)))
+	buf.WriteString(`,"verdicts":[`)
+	for i := range verdicts {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(verdicts[i].JSON)
+	}
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {

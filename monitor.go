@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"rrr/internal/bgp"
 	"rrr/internal/core"
@@ -52,6 +53,15 @@ type Monitor struct {
 	opened   bool
 	firstObs int64
 	haveObs  bool
+
+	// version counts verdict-affecting state transitions: window closes,
+	// tracking changes, refreshes, and restores. Feed ingestion does NOT
+	// bump it — observations only influence verdicts once a window closes
+	// — so between closes every pair's verdict is immutable and callers
+	// (internal/server's verdict cache) may reuse answers stamped with the
+	// current version. Bumped only under the write lock; read via
+	// StateVersion or the version returned by PairStates.
+	version atomic.Uint64
 
 	// Baselines carried over from a restored snapshot, so cumulative
 	// counters (signal totals, closed windows, revocations, pruned
@@ -144,6 +154,7 @@ func (m *Monitor) trackLocked(t *Traceroute) error {
 		m.engine.AddCorpusEntry(en)
 	}
 	metMonTracked.Set(int64(m.corp.Len()))
+	m.version.Add(1)
 	return nil
 }
 
@@ -154,6 +165,7 @@ func (m *Monitor) Untrack(k Key) {
 	m.corp.Remove(k)
 	m.engine.RemovePair(k)
 	metMonTracked.Set(int64(m.corp.Len()))
+	m.version.Add(1)
 }
 
 // Tracked returns the monitored pairs in sorted (Src, Dst) order, so API
@@ -181,6 +193,7 @@ func (m *Monitor) CloseWindow(ws int64) []Signal {
 	m.cur, m.opened = ws+m.window, true
 	sigs := m.engine.CloseWindow(ws)
 	m.noteWindowMetrics(sigs, 1)
+	m.version.Add(1)
 	return sigs
 }
 
@@ -224,6 +237,9 @@ func (m *Monitor) Advance(t int64) []Signal {
 		windows++
 	}
 	m.noteWindowMetrics(out, windows)
+	if windows > 0 {
+		m.version.Add(1)
+	}
 	return out
 }
 
@@ -254,6 +270,50 @@ func (m *Monitor) StaleKeys() []Key {
 		}
 	}
 	return out
+}
+
+// StateVersion returns the monitor's verdict-state version. It changes
+// exactly when some pair's staleness answer may have changed: on window
+// closes, tracking changes, refreshes, and restores — never on raw feed
+// ingestion. A caller that cached answers stamped with version v may keep
+// serving them while StateVersion still returns v.
+func (m *Monitor) StateVersion() uint64 { return m.version.Load() }
+
+// PairState is one pair's verdict inputs, read consistently under a single
+// lock acquisition by PairStates. Signals aliases engine-internal storage
+// and is only valid while StateVersion is unchanged; copy it to retain it
+// across state transitions.
+type PairState struct {
+	Key        Key
+	Tracked    bool
+	MeasuredAt int64
+	// Potential counts the monitors covering the pair (§6.2's
+	// known/unknown visibility split: tracked with zero potential means
+	// the monitor has no vantage over the pair).
+	Potential int
+	Signals   []Signal
+}
+
+// PairStates reads the verdict inputs for every key under one read lock
+// and returns them together with the state version they reflect. This is
+// the batch query path: one lock acquisition for N keys instead of the
+// three per key that Entry + Potential + ActiveSignals would cost.
+func (m *Monitor) PairStates(keys []Key) ([]PairState, uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]PairState, len(keys))
+	for i, k := range keys {
+		out[i] = PairState{Key: k}
+		en, ok := m.corp.Get(k)
+		if !ok {
+			continue
+		}
+		out[i].Tracked = true
+		out[i].MeasuredAt = en.MeasuredAt
+		out[i].Potential = len(m.engine.Registrations(k))
+		out[i].Signals = m.engine.Active(k)
+	}
+	return out, m.version.Load()
 }
 
 // Potential returns the potential signals (monitors) covering a pair; an
@@ -298,6 +358,7 @@ func (m *Monitor) RecordRefresh(t *Traceroute) (ChangeClass, error) {
 	m.engine.Reregister(en)
 	metMonRefreshes.Inc()
 	metMonStale.Set(int64(m.engine.ActivePairs()))
+	m.version.Add(1)
 	return cls, nil
 }
 
@@ -467,6 +528,7 @@ func (m *Monitor) Restore(s *MonitorSnapshot) error {
 	m.baseWindows = s.WindowsClosed
 	m.baseRevSigs, m.baseRevPairs = s.RevokedSignals, s.RevokedPairEvents
 	m.basePruned = s.PrunedCommunities
+	m.version.Add(1)
 	return nil
 }
 
