@@ -8,7 +8,7 @@ FUZZ_TARGETS := \
 	internal/bgp:FuzzParseCommunity \
 	internal/wal:FuzzWALReader
 
-.PHONY: build test vet race bench bench-json fuzz crashtest verify
+.PHONY: build test vet race bench bench-json fuzz crashtest clustertest verify
 
 build:
 	$(GO) build ./...
@@ -28,15 +28,21 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 10x ./internal/core/
 
-# Machine-readable bench record: engine + serve throughput plus a full
-# metrics-registry snapshot, diffable across PRs. BENCH_PR names the
-# output (BENCH_$(BENCH_PR).json) so each PR commits its own record
+# Machine-readable bench record: engine + serve + cluster throughput plus
+# a full metrics-registry snapshot, diffable across PRs. BENCH_PR names
+# the output (BENCH_$(BENCH_PR).json) so each PR commits its own record
 # without clobbering earlier baselines; benchgate then enforces the
-# sharded-engine speedup floor (skipped automatically on 1-core hosts).
-BENCH_PR ?= pr6
+# sharded-engine speedup floor (skipped automatically on 1-core hosts)
+# and the cluster floor: at every K the router-merged req/s must hold a
+# fraction of the single-node baseline, so a change that serializes the
+# fan-out fails the build instead of landing quietly. The floor is set
+# for the worst case (a 1-core runner, where router, K workers, and the
+# load generator all share the core); multi-core hosts clear it by a
+# wide margin.
+BENCH_PR ?= pr7
 bench-json:
-	$(GO) run ./cmd/rrrbench -only enginebench,servebench -benchout BENCH_$(BENCH_PR).json
-	$(GO) run ./cmd/benchgate -min-speedup 1.0 BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/rrrbench -only enginebench,servebench,clusterbench -benchout BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 BENCH_$(BENCH_PR).json
 
 # Short fuzz pass over every entry point that consumes untrusted bytes:
 # the BGP parsers (MRT, binary, and text codecs; path and community
@@ -52,9 +58,18 @@ fuzz:
 
 # Crash-torture harness in short mode: seeded crash points across all
 # three fsync policies, each proving the recovered daemon byte-identical
-# to an uninterrupted run. The full 21-point sweep runs without -short.
+# to an uninterrupted run — single-node and one-worker-of-a-cluster both.
+# The full sweeps run without -short.
 crashtest:
-	$(GO) test ./internal/wal -run TestCrashTorture -short -count=1 -v
+	$(GO) test ./internal/wal -run 'TestCrashTorture|TestClusterCrashTorture' -short -count=1 -v
+
+# Cluster acceptance under the race detector: the K∈{1,3} differential
+# (router-merged keys/batch/stats/SSE byte-identical to one daemon), the
+# router degradation paths (worker down mid-batch, wedged worker, SSE
+# reconnect), and the kill-one-worker WAL recovery torture.
+clustertest:
+	$(GO) test -race -count=1 ./internal/cluster -run 'TestClusterDifferential|TestRouter|TestRing' -v
+	$(GO) test -race -count=1 ./internal/wal -run TestClusterCrashTorture -v
 
 # Tier-1 verification plus vet and the race pass. The server tests scrape
 # GET /metrics (format, layer coverage, concurrent-scrape race-cleanliness).

@@ -29,11 +29,23 @@ type benchRecord struct {
 	Serve *struct {
 		ReqPerSec float64 `json:"ReqPerSec"`
 	} `json:"serve"`
+	ClusterPartitions int `json:"clusterPartitions"`
+	Cluster           *struct {
+		Partitions int `json:"Partitions"`
+		Single     struct {
+			ReqPerSec float64 `json:"ReqPerSec"`
+		} `json:"Single"`
+		Routed []struct {
+			Workers   int     `json:"Workers"`
+			ReqPerSec float64 `json:"ReqPerSec"`
+		} `json:"Routed"`
+	} `json:"cluster"`
 }
 
 func main() {
 	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum 2-shard engine speedup (gated only when gomaxprocs > 1)")
 	minReqPerSec := flag.Float64("min-reqps", 0, "minimum servebench requests/sec (0 disables)")
+	minClusterFrac := flag.Float64("min-cluster-frac", 0, "minimum routed-cluster req/s as a fraction of the single-node baseline, at every worker count (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [-min-speedup X] [-min-reqps Y] BENCH.json")
@@ -80,6 +92,37 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("benchgate: ok serve %.0f req/s (>= %.0f)\n", rec.Serve.ReqPerSec, *minReqPerSec)
+		}
+	}
+	if *minClusterFrac > 0 {
+		switch {
+		case rec.Cluster == nil:
+			fmt.Println("benchgate: no cluster record; cluster gate skipped")
+		case rec.ClusterPartitions <= 0 || rec.Cluster.Partitions != rec.ClusterPartitions:
+			// The schema carries the partition count twice (inside the
+			// record and at top level for graphing); they must agree.
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL cluster partition count missing or inconsistent (top-level %d, record %d)\n",
+				rec.ClusterPartitions, rec.Cluster.Partitions)
+			failed = true
+		case rec.Cluster.Single.ReqPerSec <= 0:
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL cluster record has no single-node baseline throughput")
+			failed = true
+		default:
+			for _, topo := range rec.Cluster.Routed {
+				frac := topo.ReqPerSec / rec.Cluster.Single.ReqPerSec
+				if frac < *minClusterFrac {
+					fmt.Fprintf(os.Stderr, "benchgate: FAIL router K=%d %.0f req/s = %.2fx single-node %.0f, below %.2fx (sha=%s)\n",
+						topo.Workers, topo.ReqPerSec, frac, rec.Cluster.Single.ReqPerSec, *minClusterFrac, rec.GitSHA)
+					failed = true
+				} else {
+					fmt.Printf("benchgate: ok router K=%d %.0f req/s = %.2fx single-node (>= %.2fx)\n",
+						topo.Workers, topo.ReqPerSec, frac, *minClusterFrac)
+				}
+			}
+			if len(rec.Cluster.Routed) == 0 {
+				fmt.Fprintln(os.Stderr, "benchgate: FAIL cluster record has no routed topologies")
+				failed = true
+			}
 		}
 	}
 	if failed {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"rrr/internal/cluster"
 	"rrr/internal/experiments"
 	"rrr/internal/obs"
 	"rrr/internal/server"
@@ -27,11 +28,12 @@ func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	days := flag.Int("days", 0, "override experiment duration in days")
 	seed := flag.Int64("seed", 0, "override simulation seed (0 keeps the scale default)")
-	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench)")
+	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench,clusterbench)")
 	shards := flag.String("shards", "1,2,4", "shard counts for -only enginebench (comma-separated)")
-	clients := flag.Int("clients", 8, "concurrent clients for -only servebench")
-	requests := flag.Int("requests", 2000, "total batch requests for -only servebench")
-	batch := flag.Int("batch", 64, "keys per batch for -only servebench")
+	clients := flag.Int("clients", 8, "concurrent clients for -only servebench/clusterbench")
+	requests := flag.Int("requests", 2000, "total batch requests for -only servebench/clusterbench")
+	batch := flag.Int("batch", 64, "keys per batch for -only servebench/clusterbench")
+	clusterWorkers := flag.String("cluster-workers", "1,2,4", "worker counts for -only clusterbench (comma-separated)")
 	metrics := flag.Bool("metrics", false, "dump the obs metrics registry (Prometheus text) after the run")
 	benchout := flag.String("benchout", "", "write machine-readable bench results + registry snapshot to this JSON file")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "GOMAXPROCS for the run (0 keeps the runtime default: all cores)")
@@ -152,13 +154,32 @@ func main() {
 		serveResult = r
 		printServeBench(r)
 	}
+	var clusterResult *cluster.BenchResult
+	if len(want) != 0 && want["clusterbench"] {
+		var counts []int
+		for _, s := range strings.Split(*clusterWorkers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -cluster-workers entry %q\n", s)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		r, err := cluster.RunBench(sc, counts, *clients, *requests, *batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clusterbench: %v\n", err)
+			os.Exit(1)
+		}
+		clusterResult = r
+		printClusterBench(r)
+	}
 
 	if *metrics {
 		fmt.Println("\n=== Metrics registry ===")
 		obs.Default.WritePrometheus(os.Stdout)
 	}
 	if *benchout != "" {
-		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult); err != nil {
+		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult, clusterResult); err != nil {
 			fmt.Fprintf(os.Stderr, "benchout: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,10 +199,15 @@ type benchJSON struct {
 	// git checkout).
 	GitSHA string `json:"gitSha,omitempty"`
 	// Shards lists the engine shard counts swept, in run order.
-	Shards  []int                           `json:"shards,omitempty"`
-	Engine  []experiments.EngineBenchResult `json:"engine,omitempty"`
-	Serve   *server.ServeBenchResult        `json:"serve,omitempty"`
-	Metrics map[string]float64              `json:"metrics"`
+	Shards []int                           `json:"shards,omitempty"`
+	Engine []experiments.EngineBenchResult `json:"engine,omitempty"`
+	Serve  *server.ServeBenchResult        `json:"serve,omitempty"`
+	// Cluster records router-merged throughput per worker count against
+	// the single-node baseline; ClusterPartitions is the hash-ring
+	// partition count those topologies divided.
+	Cluster           *cluster.BenchResult `json:"cluster,omitempty"`
+	ClusterPartitions int                  `json:"clusterPartitions,omitempty"`
+	Metrics           map[string]float64   `json:"metrics"`
 }
 
 func gitSHA() string {
@@ -193,7 +219,8 @@ func gitSHA() string {
 }
 
 func writeBenchJSON(path, scale string, sc experiments.Scale,
-	engine []experiments.EngineBenchResult, serve *server.ServeBenchResult) error {
+	engine []experiments.EngineBenchResult, serve *server.ServeBenchResult,
+	clusterRes *cluster.BenchResult) error {
 	out := benchJSON{
 		Scale:      scale,
 		Days:       sc.Days,
@@ -202,7 +229,11 @@ func writeBenchJSON(path, scale string, sc experiments.Scale,
 		GitSHA:     gitSHA(),
 		Engine:     engine,
 		Serve:      serve,
+		Cluster:    clusterRes,
 		Metrics:    obs.Default.Snapshot(),
+	}
+	if clusterRes != nil {
+		out.ClusterPartitions = clusterRes.Partitions
 	}
 	for _, r := range engine {
 		out.Shards = append(out.Shards, r.Shards)
@@ -227,6 +258,23 @@ func printServeBench(r *server.ServeBenchResult) {
 		"cached", r.CachedElapsed.Round(time.Millisecond), r.CachedReqPerSec, r.CachedKeysPerSec,
 		r.CachedP50.Round(time.Microsecond), r.CachedP90.Round(time.Microsecond), r.CachedP99.Round(time.Microsecond))
 	fmt.Printf("stale verdicts (ingest phase): %d\n", r.StaleVerdicts)
+}
+
+func printClusterBench(r *cluster.BenchResult) {
+	fmt.Println("\n=== Cluster bench: router-merged POST /v1/stale vs single node ===")
+	fmt.Printf("corpus=%d pairs over %d partitions, %d clients x %d reqs, batch=%d\n",
+		r.CorpusSize, r.Partitions, r.Clients, r.Requests/r.Clients, r.BatchSize)
+	fmt.Printf("%-12s %-10s %-12s %-12s %-10s %-10s %-10s\n",
+		"topology", "elapsed", "req/s", "keys/s", "p50", "p90", "p99")
+	row := func(name string, t cluster.BenchTopology) {
+		fmt.Printf("%-12s %-10s %-12.0f %-12.0f %-10s %-10s %-10s\n",
+			name, t.Elapsed.Round(time.Millisecond), t.ReqPerSec, t.KeysPerSec,
+			t.P50.Round(time.Microsecond), t.P90.Round(time.Microsecond), t.P99.Round(time.Microsecond))
+	}
+	row("single", r.Single)
+	for _, t := range r.Routed {
+		row(fmt.Sprintf("router K=%d", t.Workers), t)
+	}
 }
 
 func printEngineBench(rs []experiments.EngineBenchResult) {

@@ -1,0 +1,107 @@
+// Command rrrd-router is the stateless front end for a partitioned rrrd
+// cluster: it routes staleness queries to the worker owning each key's
+// hash-ring partition, splices worker verdicts into single responses,
+// merges /v1/keys and /v1/stats, and multiplexes the workers' SSE signal
+// streams into one totally-ordered stream. It owns no monitor state —
+// restart it freely.
+//
+//	rrrd -addr :8081 -worker-id 0 -workers 3 &
+//	rrrd -addr :8082 -worker-id 1 -workers 3 &
+//	rrrd -addr :8083 -worker-id 2 -workers 3 &
+//	rrrd-router -addr :8080 -workers http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// Try it:
+//
+//	curl localhost:8080/v1/stats              # merged counters
+//	curl localhost:8080/v1/cluster            # per-worker identity + health
+//	curl -N localhost:8080/v1/signals         # one ordered stream
+//	curl localhost:8080/readyz                # 503 until every partition is ready
+//
+// Degradation: each worker sub-request gets a bounded timeout and one
+// retry; a worker that stays down yields partial responses carrying an
+// explicit unavailablePartitions field rather than silent holes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rrr/internal/cluster"
+	"rrr/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.String("workers", "", "comma-separated worker base URLs, ordered by worker ID")
+		parts     = flag.Int("partitions", cluster.DefaultPartitions, "hash-ring partition count (must match the workers)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-worker sub-request timeout (one retry before a partition is reported unavailable)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keepalive interval")
+		ring      = flag.Int("ring", server.DefaultRingSize, "per-SSE-subscriber frame buffer")
+		maxBatch  = flag.Int("max-batch", 10000, "POST /v1/stale key limit")
+		backoff   = flag.Duration("stream-backoff", 100*time.Millisecond, "initial worker-stream reconnect delay")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *parts, *timeout, *heartbeat, *ring, *maxBatch, *backoff); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, workers string, parts int, timeout, heartbeat time.Duration, ring, maxBatch int, backoff time.Duration) error {
+	var urls []string
+	for _, u := range strings.Split(workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("rrrd-router: -workers needs at least one worker URL")
+	}
+
+	rt, err := cluster.NewRouter(cluster.Options{
+		Workers:       urls,
+		Partitions:    parts,
+		Timeout:       timeout,
+		Heartbeat:     heartbeat,
+		RingSize:      ring,
+		MaxBatch:      maxBatch,
+		StreamBackoff: backoff,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	for w, u := range urls {
+		log.Printf("rrrd-router: worker %d at %s owns %d of %d partitions",
+			w, u, rt.Ring().OwnedPartitions(w), rt.Ring().Partitions())
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+	httpDone := make(chan error, 1)
+	go func() {
+		log.Printf("rrrd-router: serving on %s (%d workers)", addr, len(urls))
+		httpDone <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("rrrd-router: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutCtx)
+	case err := <-httpDone:
+		return err
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/cluster"
 	"rrr/internal/experiments"
 	"rrr/internal/obs"
 	"rrr/internal/server"
@@ -75,6 +76,13 @@ type options struct {
 	feedRetries int
 	feedBackoff time.Duration
 	verbose     bool
+
+	// Cluster worker mode: this daemon ingests the full feed but tracks
+	// only the corpus pairs its consistent-hash slice owns. Front K such
+	// workers with rrrd-router to serve the merged corpus.
+	workerID   int
+	workers    int
+	partitions int
 }
 
 func main() {
@@ -95,6 +103,9 @@ func main() {
 	flag.IntVar(&o.feedRetries, "feed-retries", 5, "transient feed failures tolerated per window before a feed is declared dead")
 	flag.DurationVar(&o.feedBackoff, "feed-backoff", 500*time.Millisecond, "initial retry backoff after a feed failure (doubles per attempt)")
 	flag.BoolVar(&o.verbose, "v", false, "log every signal")
+	flag.IntVar(&o.workerID, "worker-id", -1, "cluster worker ID in [0, -workers); -1 runs single-node")
+	flag.IntVar(&o.workers, "workers", 0, "cluster worker count (with -worker-id)")
+	flag.IntVar(&o.partitions, "partitions", cluster.DefaultPartitions, "cluster hash-ring partition count (must match the router)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -120,6 +131,22 @@ func run(o options) error {
 		sc.SimCfg.Seed = o.seed
 	}
 	sc.Shards = o.shards
+
+	// Worker mode: agree on the partition placement with the router (and
+	// every sibling worker) purely from flags — no coordination service.
+	var ring *cluster.Ring
+	if o.workerID >= 0 {
+		if o.workerID >= o.workers {
+			return fmt.Errorf("-worker-id %d out of range for -workers %d", o.workerID, o.workers)
+		}
+		var err error
+		ring, err = cluster.NewRing(o.workers, o.partitions)
+		if err != nil {
+			return err
+		}
+		log.Printf("rrrd: worker %d/%d owns %d of %d partitions",
+			o.workerID, o.workers, ring.OwnedPartitions(o.workerID), ring.Partitions())
+	}
 
 	log.Printf("rrrd: building %s-scale environment (seed %d)", o.scale, sc.SimCfg.Seed)
 	env := experiments.NewDaemonEnv(sc, o.pace)
@@ -170,6 +197,13 @@ func run(o options) error {
 	if w != nil {
 		srvCfg.WALStatus = w.Status
 	}
+	if ring != nil {
+		srvCfg.Worker = &server.WorkerIdentity{
+			ID:         o.workerID,
+			Workers:    o.workers,
+			Partitions: ring.OwnedPartitions(o.workerID),
+		}
+	}
 	srv := server.New(mon, srvCfg)
 
 	// Serve early: liveness comes up before recovery so orchestrators see
@@ -198,15 +232,23 @@ func run(o options) error {
 		log.Printf("rrrd: restored %d corpus entries, %d active signals from %s",
 			info.Entries, info.Signals, o.snapshot)
 	} else {
-		tracked, skipped := 0, 0
+		tracked, skipped, foreign := 0, 0, 0
 		for _, tr := range env.Corpus {
+			if ring != nil && ring.Owner(tr.Key()) != o.workerID {
+				foreign++ // another worker's slice; still observed via the shared feed
+				continue
+			}
 			if err := mon.Track(tr); err != nil {
 				skipped++ // AS-loop traces are discarded (Appendix A)
 				continue
 			}
 			tracked++
 		}
-		log.Printf("rrrd: tracking %d corpus pairs (%d traces discarded)", tracked, skipped)
+		if ring != nil {
+			log.Printf("rrrd: tracking %d corpus pairs (%d traces discarded, %d owned elsewhere)", tracked, skipped, foreign)
+		} else {
+			log.Printf("rrrd: tracking %d corpus pairs (%d traces discarded)", tracked, skipped)
+		}
 	}
 
 	// Phase 2: WAL replay rebuilds everything ingested after the
@@ -274,6 +316,7 @@ func run(o options) error {
 		DedupAdjacent: true,
 		Health:        health,
 		Resume:        resume,
+		OnWindowClose: srv.PublishWindowClose,
 	}
 	if w != nil {
 		pipeCfg.WAL = w

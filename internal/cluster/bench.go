@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"rrr"
+	"rrr/internal/experiments"
+	"rrr/internal/server"
+)
+
+// BenchTopology is one measured serving topology: Workers == 0 is the
+// direct single-node baseline (no router hop), Workers == K is a router
+// fronting K partitioned workers.
+type BenchTopology struct {
+	Workers       int
+	Elapsed       time.Duration
+	ReqPerSec     float64
+	KeysPerSec    float64
+	P50           time.Duration
+	P90           time.Duration
+	P99           time.Duration
+	StaleVerdicts int
+}
+
+// BenchResult reports router-merged batch-verdict throughput against the
+// single-node baseline over an identical corpus, feed, and request mix.
+type BenchResult struct {
+	Partitions int
+	CorpusSize int
+	Clients    int
+	Requests   int
+	BatchSize  int
+	Single     BenchTopology
+	Routed     []BenchTopology
+}
+
+// RunBench feeds a simulated day into (a) one daemon tracking the whole
+// corpus and (b) a router over K ring-sliced workers for each K in
+// workerCounts, then fires the same pre-rendered batch load at each and
+// measures merged req/s and latency percentiles. Load runs after feed EOF
+// on both sides, so the comparison isolates the router's fan-out, splice,
+// and merge overhead rather than ingest contention (servebench covers
+// that for the single node).
+func RunBench(sc experiments.Scale, workerCounts []int, clients, requests, batchSize int) (*BenchResult, error) {
+	perClient := requests / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	total := perClient * clients
+
+	// Single-node baseline: full corpus, feed to EOF, direct load.
+	mon, env, err := newWorkerMonitor(sc, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(mon, server.Config{})
+	if err := rrr.RunPipeline(context.Background(), mon, rrr.PipelineConfig{
+		Updates: env.Updates,
+		Traces:  env.Traces,
+		Sink:    func(rrr.Signal) {},
+	}); err != nil {
+		return nil, fmt.Errorf("cluster: bench baseline feed: %w", err)
+	}
+	keys := mon.Tracked()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("cluster: bench corpus is empty")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	single, err := benchLoad(ts, 0, keys, clients, perClient, batchSize)
+	ts.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BenchResult{
+		CorpusSize: len(keys),
+		Clients:    clients,
+		Requests:   total,
+		BatchSize:  batchSize,
+		Single:     single,
+	}
+	for _, k := range workerCounts {
+		lc, err := StartLocal(LocalOptions{
+			Workers:       k,
+			Scale:         sc,
+			RouterTimeout: 30 * time.Second,
+			StreamBackoff: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bench K=%d: %w", k, err)
+		}
+		if res.Partitions == 0 {
+			res.Partitions = lc.Ring.Partitions()
+		}
+		if err := lc.WaitStreams(30 * time.Second); err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("cluster: bench K=%d: %w", k, err)
+		}
+		lc.StartFeeds()
+		if err := lc.WaitFeeds(); err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("cluster: bench K=%d feeds: %w", k, err)
+		}
+		topo, err := benchLoad(lc.RouterTS, k, keys, clients, perClient, batchSize)
+		lc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bench K=%d: %w", k, err)
+		}
+		res.Routed = append(res.Routed, topo)
+	}
+	return res, nil
+}
+
+func benchLoad(ts *httptest.Server, workers int, keys []rrr.Key, clients, perClient, batchSize int) (BenchTopology, error) {
+	lat, stale, elapsed, err := server.RunStaleLoad(ts, keys, clients, perClient, batchSize)
+	if err != nil {
+		return BenchTopology{}, err
+	}
+	t := BenchTopology{
+		Workers:       workers,
+		Elapsed:       elapsed,
+		StaleVerdicts: stale,
+	}
+	t.P50, t.P90, t.P99 = server.Percentiles(lat)
+	if elapsed > 0 {
+		t.ReqPerSec = float64(clients*perClient) / elapsed.Seconds()
+		t.KeysPerSec = t.ReqPerSec * float64(batchSize)
+	}
+	return t, nil
+}

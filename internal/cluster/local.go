@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"rrr"
+	"rrr/internal/experiments"
+	"rrr/internal/server"
+)
+
+// LocalOptions configures an in-process cluster over simulated feeds.
+type LocalOptions struct {
+	Workers    int
+	Partitions int
+	Scale      experiments.Scale
+	// RouterTimeout is the router's per-worker sub-request timeout.
+	RouterTimeout time.Duration
+	// StreamBackoff is the router's worker-stream reconnect delay.
+	StreamBackoff time.Duration
+	// Middleware, when set, wraps each worker's handler (by worker ID) —
+	// failure tests inject latency or errors here.
+	Middleware func(workerID int, h http.Handler) http.Handler
+}
+
+// LocalWorker is one in-process rrrd worker: a Monitor tracking its ring
+// slice, a serving layer, and an HTTP listener whose address survives
+// StopHTTP/StartHTTP cycles so the router (and its SSE reconnect path)
+// can find a "restarted" worker at the same URL.
+type LocalWorker struct {
+	ID  int
+	Mon *rrr.Monitor
+	Srv *server.Server
+	Env *experiments.DaemonEnv
+
+	addr    string
+	handler http.Handler
+	mu      sync.Mutex
+	httpSrv *http.Server
+}
+
+// URL is the worker's base URL.
+func (lw *LocalWorker) URL() string { return "http://" + lw.addr }
+
+// StartHTTP (re)binds the worker's fixed address and serves until
+// StopHTTP.
+func (lw *LocalWorker) StartHTTP() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.httpSrv != nil {
+		return nil
+	}
+	lis, err := net.Listen("tcp", lw.addr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d relisten %s: %w", lw.ID, lw.addr, err)
+	}
+	lw.httpSrv = &http.Server{Handler: lw.handler}
+	go lw.httpSrv.Serve(lis)
+	return nil
+}
+
+// StopHTTP closes the worker's listener and in-flight connections,
+// simulating a crash from the router's point of view.
+func (lw *LocalWorker) StopHTTP() {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.httpSrv == nil {
+		return
+	}
+	lw.httpSrv.Close()
+	lw.httpSrv = nil
+}
+
+// LocalCluster is K in-process workers behind an in-process router, each
+// worker ingesting the full simulated feed while tracking only its ring
+// slice. Feeds start explicitly (StartFeeds) so tests can attach stream
+// subscribers first.
+type LocalCluster struct {
+	Ring     *Ring
+	Workers  []*LocalWorker
+	Router   *Router
+	RouterTS *httptest.Server
+
+	cancel   context.CancelFunc
+	feedErrs chan error
+	started  bool
+}
+
+// newWorkerMonitor builds a Monitor over a fresh deterministic DaemonEnv,
+// priming the RIB from the dump and tracking only the pairs `ring` assigns
+// to worker `id` (a nil ring tracks everything — the single-daemon
+// baseline).
+func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int) (*rrr.Monitor, *experiments.DaemonEnv, error) {
+	env := experiments.NewDaemonEnv(sc, 0)
+	cfg := rrr.DefaultConfig()
+	cfg.WindowSec = sc.WindowSec
+	cfg.Shards = sc.Shards
+	mon, err := rrr.NewMonitor(rrr.Options{
+		Config:     cfg,
+		Mapper:     env.Mapper,
+		Aliases:    env.Aliases,
+		Geo:        env.Geo,
+		Rel:        env.Rel,
+		IXPMembers: env.IXPMembers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, u := range env.Dump {
+		mon.ObserveBGP(u)
+	}
+	for _, tr := range env.Corpus {
+		if ring != nil && ring.Owner(tr.Key()) != id {
+			continue
+		}
+		// AS-loop traces are rejected by design; skip them like the lab.
+		_ = mon.Track(tr)
+	}
+	return mon, env, nil
+}
+
+// StartLocalDaemon builds the single-node baseline the differential tests
+// compare the cluster against: same scale, same feeds, full corpus, no
+// worker identity.
+func StartLocalDaemon(sc experiments.Scale) (*LocalWorker, error) {
+	mon, env, err := newWorkerMonitor(sc, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(mon, server.Config{})
+	lw := &LocalWorker{ID: 0, Mon: mon, Srv: srv, Env: env, handler: srv.Handler()}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	lw.addr = lis.Addr().String()
+	lw.httpSrv = &http.Server{Handler: lw.handler}
+	go lw.httpSrv.Serve(lis)
+	return lw, nil
+}
+
+// RunFeed drives the worker's pipeline to feed EOF, publishing signals and
+// window markers to its SSE hub.
+func (lw *LocalWorker) RunFeed(ctx context.Context) error {
+	return rrr.RunPipeline(ctx, lw.Mon, rrr.PipelineConfig{
+		Updates:       lw.Env.Updates,
+		Traces:        lw.Env.Traces,
+		Sink:          lw.Srv.Publish,
+		OnWindowClose: lw.Srv.PublishWindowClose,
+	})
+}
+
+// StartLocal brings up the cluster: workers listening, router subscribed
+// to their streams, feeds not yet flowing.
+func StartLocal(opts LocalOptions) (*LocalCluster, error) {
+	ring, err := NewRing(opts.Workers, opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocalCluster{Ring: ring, feedErrs: make(chan error, opts.Workers)}
+	urls := make([]string, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		mon, env, err := newWorkerMonitor(opts.Scale, ring, w)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		srv := server.New(mon, server.Config{
+			Worker: &server.WorkerIdentity{ID: w, Workers: opts.Workers, Partitions: ring.OwnedPartitions(w)},
+		})
+		handler := http.Handler(srv.Handler())
+		if opts.Middleware != nil {
+			handler = opts.Middleware(w, handler)
+		}
+		lw := &LocalWorker{ID: w, Mon: mon, Srv: srv, Env: env, handler: handler}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lw.addr = lis.Addr().String()
+		lw.httpSrv = &http.Server{Handler: handler}
+		go lw.httpSrv.Serve(lis)
+		lc.Workers = append(lc.Workers, lw)
+		urls[w] = lw.URL()
+	}
+	rt, err := NewRouter(Options{
+		Workers:       urls,
+		Partitions:    opts.Partitions,
+		Timeout:       opts.RouterTimeout,
+		StreamBackoff: opts.StreamBackoff,
+	})
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Router = rt
+	lc.RouterTS = httptest.NewServer(rt.Handler())
+	return lc, nil
+}
+
+// URL is the router's base URL.
+func (lc *LocalCluster) URL() string { return lc.RouterTS.URL }
+
+// WaitStreams blocks until the router has every worker stream attached
+// (start feeds only after, or early signals are never seen by the
+// merger).
+func (lc *LocalCluster) WaitStreams(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !lc.Router.StreamConnected() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: worker streams not connected after %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// StartFeeds launches every worker's pipeline.
+func (lc *LocalCluster) StartFeeds() {
+	if lc.started {
+		return
+	}
+	lc.started = true
+	ctx, cancel := context.WithCancel(context.Background())
+	lc.cancel = cancel
+	for _, lw := range lc.Workers {
+		go func(lw *LocalWorker) {
+			lc.feedErrs <- lw.RunFeed(ctx)
+		}(lw)
+	}
+}
+
+// WaitFeeds blocks until every worker's feed reaches EOF, returning the
+// first pipeline error.
+func (lc *LocalCluster) WaitFeeds() error {
+	var first error
+	for range lc.Workers {
+		if err := <-lc.feedErrs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close tears the cluster down.
+func (lc *LocalCluster) Close() {
+	if lc.cancel != nil {
+		lc.cancel()
+	}
+	if lc.RouterTS != nil {
+		lc.RouterTS.Close()
+	}
+	if lc.Router != nil {
+		lc.Router.Close()
+	}
+	for _, lw := range lc.Workers {
+		lw.StopHTTP()
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rrr"
+	"rrr/internal/server"
+)
+
+// mergeStats folds K workers' /v1/stats into the single-daemon shape.
+// Counter semantics:
+//
+//   - corpusSize, staleKeys, signals{}, totalSignals, revokedSignals,
+//     revokedPairEvents, prunedCommunities: sums — partitions are
+//     disjoint, so worker tallies add. (prunedCommunities is a sum of
+//     per-worker prune decisions; with refresh traffic a cluster may
+//     prune a community on one worker that a single node would prune
+//     once globally — a documented rebalance caveat, exact in the
+//     refresh-free differential runs.)
+//   - windowSec: must agree across workers (same feed clock) — a
+//     mismatch is a deployment error, reported as such.
+//   - windowsClosed: min — the conservative barrier; a lagging worker's
+//     unclosed window is not yet part of any merged answer.
+//   - subscribers: the router's own stream subscriber count; worker
+//     counts only reflect the router's internal taps.
+//   - feeds: concatenated with a "w<id>/" feed-name prefix so operators
+//     can tell whose feed is degraded.
+//   - wal, worker: omitted — per-worker durability state is exposed
+//     unmerged on /v1/cluster instead.
+func mergeStats(parts []server.Stats, subscribers int) (server.Stats, error) {
+	if len(parts) == 0 {
+		return server.Stats{}, fmt.Errorf("cluster: no worker stats to merge")
+	}
+	out := server.Stats{
+		WindowSec:     parts[0].WindowSec,
+		WindowsClosed: parts[0].WindowsClosed,
+		Signals:       map[string]int{},
+		Subscribers:   subscribers,
+	}
+	for i, p := range parts {
+		if p.WindowSec != out.WindowSec {
+			return server.Stats{}, fmt.Errorf("cluster: worker %d windowSec %d != worker 0 windowSec %d",
+				i, p.WindowSec, out.WindowSec)
+		}
+		if p.WindowsClosed < out.WindowsClosed {
+			out.WindowsClosed = p.WindowsClosed
+		}
+		out.CorpusSize += p.CorpusSize
+		out.StaleKeys += p.StaleKeys
+		for tech, n := range p.Signals {
+			out.Signals[tech] += n
+		}
+		out.TotalSignals += p.TotalSignals
+		out.RevokedSignals += p.RevokedSignals
+		out.RevokedPairEvents += p.RevokedPairEvents
+		out.PrunedCommunities += p.PrunedCommunities
+		workerID := i
+		if p.Worker != nil {
+			workerID = p.Worker.ID
+		}
+		for _, f := range p.Feeds {
+			f.Feed = fmt.Sprintf("w%d/%s", workerID, f.Feed)
+			out.Feeds = append(out.Feeds, f)
+		}
+	}
+	return out, nil
+}
+
+func keyLess(a, b rrr.Key) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// mergeKeys k-way-merges workers' numerically sorted key lists into one
+// numerically sorted list. Ring ownership makes the lists disjoint, so no
+// dedup pass is needed. The merge compares parsed (src, dst) pairs: the
+// API's dotted-quad string order differs from numeric order, and workers
+// sort numerically.
+func mergeKeys(parts [][]string) ([]string, error) {
+	type cursor struct {
+		keys []string
+		num  []rrr.Key
+		i    int
+	}
+	cur := make([]cursor, 0, len(parts))
+	total := 0
+	for _, keys := range parts {
+		num := make([]rrr.Key, len(keys))
+		for i, ks := range keys {
+			k, err := server.ParseKey(ks)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: worker key %q: %v", ks, err)
+			}
+			num[i] = k
+		}
+		total += len(keys)
+		cur = append(cur, cursor{keys: keys, num: num})
+	}
+	out := make([]string, 0, total)
+	for len(out) < total {
+		best := -1
+		for c := range cur {
+			if cur[c].i >= len(cur[c].keys) {
+				continue
+			}
+			if best < 0 || keyLess(cur[c].num[cur[c].i], cur[best].num[cur[best].i]) {
+				best = c
+			}
+		}
+		out = append(out, cur[best].keys[cur[best].i])
+		cur[best].i++
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rrr"
+)
+
+// --- frame hub: fan merged SSE frames out to router subscribers ---
+
+// frameHub mirrors the worker-side server.Hub, but carries pre-rendered
+// SSE frames: the merger orders once and every subscriber receives
+// identical bytes. Drop-oldest semantics protect the merge loop from slow
+// clients exactly as the worker hub protects ingestion.
+type frameHub struct {
+	mu   sync.Mutex
+	subs map[*frameSub]struct{}
+	ring int
+}
+
+type frameSub struct {
+	ch      chan []byte
+	dropped atomic.Uint64
+}
+
+func newFrameHub(ring int) *frameHub {
+	if ring <= 0 {
+		ring = 256
+	}
+	return &frameHub{subs: make(map[*frameSub]struct{}), ring: ring}
+}
+
+func (h *frameHub) subscribe() *frameSub {
+	sub := &frameSub{ch: make(chan []byte, h.ring)}
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	return sub
+}
+
+func (h *frameHub) unsubscribe(sub *frameSub) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+}
+
+func (h *frameHub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+func (h *frameHub) publish(frame []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		sub.offer(frame)
+	}
+}
+
+func (s *frameSub) offer(frame []byte) {
+	for i := 0; i < 4; i++ {
+		select {
+		case s.ch <- frame:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+	s.dropped.Add(1)
+}
+
+// --- window-barrier merger ---
+
+// sigEvent pairs a worker signal's parsed form (for ordering) with the
+// exact bytes the worker put on the wire (for re-emission): the merged
+// stream never re-marshals, so it cannot drift from worker output.
+type sigEvent struct {
+	sig rrr.Signal
+	raw []byte
+}
+
+// merger multiplexes K workers' SSE streams into one totally-ordered
+// stream. Workers delimit engine windows with `event: window` markers
+// (every worker ingests the full feed, so all close the same windows);
+// the merger buffers each worker's signals and flushes window W — all
+// buffered signals of W sorted by rrr.SignalLess, then W's marker — once
+// every connected worker has reported W closed. Because a single engine
+// also emits each window signalLess-sorted and marker-terminated, the
+// merged stream is byte-identical to a single daemon's.
+//
+// Degradation: a disconnected worker is excluded from the barrier so the
+// survivors' stream keeps flowing; windows flushed during the outage are
+// missing that worker's signals, and on reconnect the merger surfaces the
+// discontinuity as an `event: gap` frame instead of silently resuming.
+type merger struct {
+	mu        sync.Mutex
+	workers   int
+	started   bool // all workers connected at least once; no flush before
+	connected []bool
+	everConn  []bool
+	buf       [][]sigEvent
+	markQ     [][]int64
+	// missed counts windows flushed while a worker was disconnected —
+	// the size of the gap surfaced when it returns.
+	missed     []int
+	flushed    int64
+	hasFlushed bool
+	hub        *frameHub
+}
+
+func newMerger(workers int, hub *frameHub) *merger {
+	return &merger{
+		workers:   workers,
+		connected: make([]bool, workers),
+		everConn:  make([]bool, workers),
+		buf:       make([][]sigEvent, workers),
+		markQ:     make([][]int64, workers),
+		missed:    make([]int, workers),
+		hub:       hub,
+	}
+}
+
+func (m *merger) setConnected(w int, up bool) {
+	m.mu.Lock()
+	wasUp := m.connected[w]
+	m.connected[w] = up
+	if up {
+		m.everConn[w] = true
+		if !m.started {
+			all := true
+			for _, ever := range m.everConn {
+				all = all && ever
+			}
+			m.started = all
+		}
+		if m.missed[w] > 0 {
+			// The worker is back but the windows flushed during its
+			// outage are gone from the merged stream; say so rather than
+			// splicing silently.
+			frame := fmt.Sprintf("event: gap\ndata: {\"worker\":%d,\"missedWindows\":%d}\n\n", w, m.missed[w])
+			m.missed[w] = 0
+			metClusterStreamGaps.Inc()
+			m.hub.publish([]byte(frame))
+		}
+	} else if wasUp {
+		// The stream died mid-window: whatever it buffered was never
+		// confirmed by a marker and will not be re-sent on reconnect.
+		metClusterStreamLate.Add(uint64(len(m.buf[w])))
+		m.buf[w] = nil
+		m.markQ[w] = nil
+	}
+	n := int64(0)
+	for _, c := range m.connected {
+		if c {
+			n++
+		}
+	}
+	metClusterWorkerConnected.Set(n)
+	m.tryFlushLocked()
+	m.mu.Unlock()
+}
+
+// allConnected reports whether every worker stream is currently attached.
+func (m *merger) allConnected() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.connected {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *merger) signal(w int, sig rrr.Signal, raw []byte) {
+	m.mu.Lock()
+	if m.hasFlushed && sig.WindowStart <= m.flushed {
+		// Late arrival for a window the barrier already emitted; keeping
+		// it would reorder the client stream.
+		metClusterStreamLate.Inc()
+		m.mu.Unlock()
+		return
+	}
+	m.buf[w] = append(m.buf[w], sigEvent{sig: sig, raw: raw})
+	m.mu.Unlock()
+}
+
+func (m *merger) marker(w int, ws int64) {
+	m.mu.Lock()
+	if m.hasFlushed && ws <= m.flushed {
+		// Re-announced window (worker recovered and replayed); its
+		// signals were either flushed already or are unrecoverable.
+		m.mu.Unlock()
+		return
+	}
+	m.markQ[w] = append(m.markQ[w], ws)
+	m.tryFlushLocked()
+	m.mu.Unlock()
+}
+
+// workerDropped propagates a worker-side ring overflow: the worker's own
+// hub discarded n events before we read them, so the merged stream has an
+// unquantifiable hole. Surface it like a reconnect gap.
+func (m *merger) workerDropped(w int, n uint64) {
+	metClusterStreamLate.Add(n)
+	frame := fmt.Sprintf("event: gap\ndata: {\"worker\":%d,\"droppedUpstream\":%d}\n\n", w, n)
+	metClusterStreamGaps.Inc()
+	m.hub.publish([]byte(frame))
+}
+
+// tryFlushLocked advances the barrier: while every connected worker has a
+// queued marker, flush the minimum head window. Callers hold m.mu.
+func (m *merger) tryFlushLocked() {
+	if !m.started {
+		return
+	}
+	for {
+		ws := int64(0)
+		have := false
+		anyConnected := false
+		for w := 0; w < m.workers; w++ {
+			if !m.connected[w] {
+				continue
+			}
+			anyConnected = true
+			if len(m.markQ[w]) == 0 {
+				return // a connected worker hasn't closed the next window yet
+			}
+			if !have || m.markQ[w][0] < ws {
+				ws = m.markQ[w][0]
+				have = true
+			}
+		}
+		if !anyConnected || !have {
+			return
+		}
+		m.flushWindowLocked(ws)
+	}
+}
+
+func (m *merger) flushWindowLocked(ws int64) {
+	var sigs []sigEvent
+	for w := 0; w < m.workers; w++ {
+		if len(m.markQ[w]) > 0 && m.markQ[w][0] == ws {
+			m.markQ[w] = m.markQ[w][1:]
+		}
+		keep := m.buf[w][:0]
+		for _, ev := range m.buf[w] {
+			if ev.sig.WindowStart <= ws {
+				sigs = append(sigs, ev)
+			} else {
+				keep = append(keep, ev)
+			}
+		}
+		m.buf[w] = keep
+		if !m.connected[w] {
+			m.missed[w]++
+		}
+	}
+	sort.Slice(sigs, func(i, j int) bool { return rrr.SignalLess(sigs[i].sig, sigs[j].sig) })
+	for _, ev := range sigs {
+		frame := make([]byte, 0, len(ev.raw)+24)
+		frame = append(frame, "event: signal\ndata: "...)
+		frame = append(frame, ev.raw...)
+		frame = append(frame, "\n\n"...)
+		m.hub.publish(frame)
+		metClusterStreamSignals.Inc()
+	}
+	m.hub.publish([]byte(fmt.Sprintf("event: window\ndata: {\"windowStart\":%d}\n\n", ws)))
+	metClusterStreamWindows.Inc()
+	m.flushed = ws
+	m.hasFlushed = true
+}

@@ -1,0 +1,34 @@
+package cluster
+
+import "rrr/internal/obs"
+
+// Router/cluster metric handles, resolved once at package init and served
+// by the router's GET /metrics alongside the engine families.
+var (
+	metRouterRequests   = obs.Default.Counter("rrr_router_requests_total")
+	metRouterFanout     = obs.Default.Counter("rrr_router_fanout_total")
+	metRouterRetries    = obs.Default.Counter("rrr_router_retries_total")
+	metRouterWorkerErrs = obs.Default.Counter("rrr_router_worker_errors_total")
+	metRouterPartial    = obs.Default.Counter("rrr_router_partial_responses_total")
+
+	metClusterStreamSignals    = obs.Default.Counter("rrr_cluster_stream_signals_total")
+	metClusterStreamWindows    = obs.Default.Counter("rrr_cluster_stream_windows_total")
+	metClusterStreamGaps       = obs.Default.Counter("rrr_cluster_stream_gaps_total")
+	metClusterStreamLate       = obs.Default.Counter("rrr_cluster_stream_late_dropped_total")
+	metClusterWorkerConnected  = obs.Default.Gauge("rrr_cluster_workers_connected")
+	metClusterStreamReconnects = obs.Default.Counter("rrr_cluster_stream_reconnects_total")
+)
+
+func init() {
+	obs.Default.Help("rrr_router_requests_total", "client requests handled by the cluster router")
+	obs.Default.Help("rrr_router_fanout_total", "worker sub-requests issued by the router")
+	obs.Default.Help("rrr_router_retries_total", "worker sub-requests retried after a first failure")
+	obs.Default.Help("rrr_router_worker_errors_total", "worker sub-requests that failed after retry")
+	obs.Default.Help("rrr_router_partial_responses_total", "responses served with unavailablePartitions set")
+	obs.Default.Help("rrr_cluster_stream_signals_total", "signals merged into the router's SSE stream")
+	obs.Default.Help("rrr_cluster_stream_windows_total", "window barriers flushed by the stream merger")
+	obs.Default.Help("rrr_cluster_stream_gaps_total", "stream discontinuities surfaced after worker reconnects")
+	obs.Default.Help("rrr_cluster_stream_late_dropped_total", "late signals for already-flushed windows, dropped")
+	obs.Default.Help("rrr_cluster_workers_connected", "worker SSE streams currently connected")
+	obs.Default.Help("rrr_cluster_stream_reconnects_total", "worker SSE stream reconnect attempts")
+}

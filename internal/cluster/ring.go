@@ -1,0 +1,157 @@
+// Package cluster partitions a traceroute corpus across rrrd workers and
+// merges their responses back into one coherent API.
+//
+// Topology: the key space is first folded onto a fixed set of partitions
+// (hash(key) mod P), and partitions are placed on workers with a
+// consistent-hash ring of virtual nodes. Queries route by key hash; a
+// stateless router (see Router) fans batches out to partition owners,
+// splices their pre-rendered verdict JSON into one response, merges
+// /v1/keys and /v1/stats, and multiplexes the workers' SSE signal streams
+// into one totally-ordered stream.
+//
+// Workers ingest the full BGP and traceroute feeds but Track only the
+// corpus pairs their ring slice owns: shared series (subpath registrations,
+// border series) are established at Track time, so per-pair signals come
+// out identical to a single daemon tracking everything — the property the
+// differential tests pin down.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"rrr"
+)
+
+// Defaults for ring geometry. Partition count bounds rebalance granularity
+// (a worker joining or leaving moves whole partitions); vnode count
+// smooths the per-worker partition spread.
+const (
+	DefaultPartitions = 64
+	vnodesPerWorker   = 64
+)
+
+// fnv64 is FNV-1a, the same family the engine uses for content-derived
+// monitor IDs, finished with a murmur3-style avalanche: raw FNV of short
+// sequential names ("worker-0/vnode-1", "worker-0/vnode-2", ...) differs
+// mostly in low bits, which clusters the circle badly enough that a
+// 3-worker ring can leave a worker with zero partitions.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+type vnode struct {
+	hash   uint64
+	worker int
+}
+
+// Ring is an immutable placement of P partitions onto K workers. Both the
+// router and every worker build the same Ring from (workers, partitions),
+// so ownership is agreed upon without coordination.
+type Ring struct {
+	workers    int
+	partitions int
+	owner      []int // partition -> worker
+	owned      []int // worker -> owned partition count
+}
+
+// NewRing places `partitions` partitions onto `workers` workers
+// (partitions <= 0 selects DefaultPartitions).
+func NewRing(workers, partitions int) (*Ring, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least 1 worker, got %d", workers)
+	}
+	if partitions <= 0 {
+		partitions = DefaultPartitions
+	}
+	vnodes := make([]vnode, 0, workers*vnodesPerWorker)
+	for w := 0; w < workers; w++ {
+		for v := 0; v < vnodesPerWorker; v++ {
+			vnodes = append(vnodes, vnode{
+				hash:   fnv64(fmt.Sprintf("worker-%d/vnode-%d", w, v)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool {
+		if vnodes[i].hash != vnodes[j].hash {
+			return vnodes[i].hash < vnodes[j].hash
+		}
+		// Hash ties (vanishingly rare) break by worker index so every
+		// builder of the same ring agrees.
+		return vnodes[i].worker < vnodes[j].worker
+	})
+	r := &Ring{
+		workers:    workers,
+		partitions: partitions,
+		owner:      make([]int, partitions),
+		owned:      make([]int, workers),
+	}
+	for p := 0; p < partitions; p++ {
+		h := fnv64(fmt.Sprintf("partition-%d", p))
+		// Successor vnode clockwise from the partition's point.
+		i := sort.Search(len(vnodes), func(i int) bool { return vnodes[i].hash >= h })
+		if i == len(vnodes) {
+			i = 0
+		}
+		w := vnodes[i].worker
+		r.owner[p] = w
+		r.owned[w]++
+	}
+	return r, nil
+}
+
+// Workers reports K.
+func (r *Ring) Workers() int { return r.workers }
+
+// Partitions reports P.
+func (r *Ring) Partitions() int { return r.partitions }
+
+// PartitionOf folds a pair onto its partition. The fold ignores ring
+// geometry, so a key's partition survives worker joins and leaves.
+func (r *Ring) PartitionOf(k rrr.Key) int {
+	var b [8]byte
+	b[0] = byte(k.Src >> 24)
+	b[1] = byte(k.Src >> 16)
+	b[2] = byte(k.Src >> 8)
+	b[3] = byte(k.Src)
+	b[4] = byte(k.Dst >> 24)
+	b[5] = byte(k.Dst >> 16)
+	b[6] = byte(k.Dst >> 8)
+	b[7] = byte(k.Dst)
+	return int(fnv64(string(b[:])) % uint64(r.partitions))
+}
+
+// Owner maps a pair to the worker that tracks it.
+func (r *Ring) Owner(k rrr.Key) int { return r.owner[r.PartitionOf(k)] }
+
+// OwnerOfPartition maps a partition to its worker.
+func (r *Ring) OwnerOfPartition(p int) int { return r.owner[p] }
+
+// OwnedPartitions reports how many partitions worker w owns.
+func (r *Ring) OwnedPartitions(w int) int { return r.owned[w] }
+
+// WorkerPartitions lists the partitions worker w owns, ascending.
+func (r *Ring) WorkerPartitions(w int) []int {
+	out := make([]int, 0, r.owned[w])
+	for p, o := range r.owner {
+		if o == w {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+
+	"rrr"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRing(3, 0)
+	if a.Partitions() != DefaultPartitions {
+		t.Fatalf("partitions = %d, want default %d", a.Partitions(), DefaultPartitions)
+	}
+	total := 0
+	for w := 0; w < 3; w++ {
+		if a.OwnedPartitions(w) == 0 {
+			t.Fatalf("worker %d owns no partitions; vnode spread failed", w)
+		}
+		if got := len(a.WorkerPartitions(w)); got != a.OwnedPartitions(w) {
+			t.Fatalf("WorkerPartitions(%d) lists %d, OwnedPartitions says %d", w, got, a.OwnedPartitions(w))
+		}
+		total += a.OwnedPartitions(w)
+	}
+	if total != a.Partitions() {
+		t.Fatalf("owned partitions sum to %d, want %d", total, a.Partitions())
+	}
+	for p := 0; p < a.Partitions(); p++ {
+		if a.OwnerOfPartition(p) != b.OwnerOfPartition(p) {
+			t.Fatalf("partition %d placement differs between identical rings", p)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		k := rrr.Key{Src: uint32(i * 2654435761), Dst: uint32(i*40503 + 7)}
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %v routed differently by identical rings", k)
+		}
+		if a.Owner(k) != a.OwnerOfPartition(a.PartitionOf(k)) {
+			t.Fatal("Owner disagrees with PartitionOf composition")
+		}
+	}
+}
+
+// TestRingPartitionStability pins the rebalance property consistent
+// hashing buys: adding a worker moves only partitions the new worker
+// takes over — no partition shuffles between surviving workers.
+func TestRingPartitionStability(t *testing.T) {
+	small, _ := NewRing(3, 128)
+	big, _ := NewRing(4, 128)
+	moved := 0
+	for p := 0; p < 128; p++ {
+		was, now := small.OwnerOfPartition(p), big.OwnerOfPartition(p)
+		if was == now {
+			continue
+		}
+		if now != 3 {
+			t.Fatalf("partition %d moved from worker %d to surviving worker %d; only the new worker may gain", p, was, now)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("new worker took nothing; ring is not spreading")
+	}
+}
+
+func TestRingSingleWorkerOwnsAll(t *testing.T) {
+	r, _ := NewRing(1, 0)
+	for i := 0; i < 100; i++ {
+		if w := r.Owner(rrr.Key{Src: uint32(i), Dst: uint32(i + 1)}); w != 0 {
+			t.Fatalf("single-worker ring routed to %d", w)
+		}
+	}
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("zero workers must be rejected")
+	}
+}

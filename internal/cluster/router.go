@@ -1,0 +1,716 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rrr"
+	"rrr/internal/obs"
+	"rrr/internal/server"
+)
+
+// Options tunes a Router.
+type Options struct {
+	// Workers are the worker base URLs, indexed by worker ID; their order
+	// must match the -worker-id each daemon was started with.
+	Workers []string
+	// Partitions is the ring's partition count (0 = DefaultPartitions).
+	// Must equal the workers' -partitions.
+	Partitions int
+	// Timeout bounds each worker sub-request (0 = 2s). A worker that
+	// exceeds it is retried once, then reported unavailable.
+	Timeout time.Duration
+	// RingSize is the per-SSE-subscriber frame buffer (0 = 256).
+	RingSize int
+	// Heartbeat is the merged stream's keepalive interval (0 = 15s).
+	Heartbeat time.Duration
+	// MaxBatch caps POST /v1/stale keys (0 = 10000), mirroring the
+	// worker-side default so the router rejects before fanning out.
+	MaxBatch int
+	// StreamBackoff is the initial worker-stream reconnect delay
+	// (0 = 100ms; doubles to a 2s cap).
+	StreamBackoff time.Duration
+}
+
+// Router is the cluster's stateless front end: it owns no monitor state,
+// only the ring (to route), an HTTP client (to fan out), and the stream
+// merger (to order). Restarting a router loses nothing but SSE
+// subscriptions.
+type Router struct {
+	ring   *Ring
+	opts   Options
+	mux    *http.ServeMux
+	hub    *frameHub
+	merger *merger
+	cancel context.CancelFunc
+	done   sync.WaitGroup
+}
+
+// NewRouter builds the router and starts its worker stream subscriptions;
+// Close releases them.
+func NewRouter(opts Options) (*Router, error) {
+	ring, err := NewRing(len(opts.Workers), opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 15 * time.Second
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 10000
+	}
+	for i, u := range opts.Workers {
+		opts.Workers[i] = strings.TrimRight(u, "/")
+	}
+	rt := &Router{ring: ring, opts: opts, mux: http.NewServeMux(), hub: newFrameHub(opts.RingSize)}
+	rt.merger = newMerger(len(opts.Workers), rt.hub)
+
+	rt.mux.HandleFunc("GET /v1/stale/{key}", rt.handleStaleOne)
+	rt.mux.HandleFunc("POST /v1/stale", rt.handleStaleBatch)
+	rt.mux.HandleFunc("GET /v1/keys", rt.handleKeys)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("GET /v1/signals", rt.handleSignals)
+	rt.mux.HandleFunc("POST /v1/refresh/plan", rt.handleRefreshPlan)
+	rt.mux.HandleFunc("POST /v1/refresh/record", rt.handleRefreshRecord)
+	rt.mux.HandleFunc("POST /v1/snapshot", rt.handleSnapshot)
+	rt.mux.Handle("GET /metrics", obs.Default.Handler())
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.cancel = cancel
+	for i := range opts.Workers {
+		c := newSSEClient(i, opts.Workers[i], rt.merger, opts.StreamBackoff)
+		rt.done.Add(1)
+		go func() {
+			defer rt.done.Done()
+			c.run(ctx)
+		}()
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler tree.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		metRouterRequests.Inc()
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// Ring exposes the placement (for worker-mode corpus filtering and tests).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// StreamConnected reports whether every worker signal stream is attached;
+// differential harnesses wait for it before releasing feeds.
+func (rt *Router) StreamConnected() bool { return rt.merger.allConnected() }
+
+// Subscribers reports attached merged-stream clients.
+func (rt *Router) Subscribers() int { return rt.hub.subscribers() }
+
+// Close stops the worker stream subscriptions.
+func (rt *Router) Close() {
+	rt.cancel()
+	rt.done.Wait()
+}
+
+// --- worker fan-out ---
+
+type workerResp struct {
+	status int
+	body   []byte
+}
+
+// do issues one worker sub-request with the per-worker timeout, retrying
+// once on transport failure or 5xx before giving up.
+func (rt *Router) do(ctx context.Context, method string, worker int, path string, body []byte) (*workerResp, error) {
+	attempt := func() (*workerResp, error) {
+		rctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
+		defer cancel()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(rctx, method, rt.opts.Workers[worker]+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		metRouterFanout.Inc()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &workerResp{status: resp.StatusCode, body: data}, nil
+	}
+	wr, err := attempt()
+	if err == nil && wr.status < 500 {
+		return wr, nil
+	}
+	metRouterRetries.Inc()
+	wr, err = attempt()
+	if err == nil && wr.status < 500 {
+		return wr, nil
+	}
+	metRouterWorkerErrs.Inc()
+	if err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("cluster: worker %d %s %s: status %d", worker, method, path, wr.status)
+}
+
+// unavailablePartitions lists, ascending, every partition owned by the
+// given down workers.
+func (rt *Router) unavailablePartitions(down []int) []int {
+	var parts []int
+	for _, w := range down {
+		parts = append(parts, rt.ring.WorkerPartitions(w)...)
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// --- verdict routing ---
+
+func (rt *Router) handleStaleOne(w http.ResponseWriter, r *http.Request) {
+	k, err := server.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	owner := rt.ring.Owner(k)
+	wr, err := rt.do(r.Context(), http.MethodGet, owner, "/v1/stale/"+r.PathValue("key"), nil)
+	if err != nil {
+		metRouterPartial.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":                 fmt.Sprintf("partition owner worker %d unavailable", owner),
+			"unavailablePartitions": rt.unavailablePartitions([]int{owner}),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(wr.status)
+	w.Write(wr.body)
+}
+
+// subBatchResp is the worker's batch-staleness shape with verdict bodies
+// kept raw for splicing.
+type subBatchResp struct {
+	Stale    int               `json:"stale"`
+	Count    int               `json:"count"`
+	Verdicts []json.RawMessage `json:"verdicts"`
+}
+
+func (rt *Router) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Keys) == 0 {
+		writeErr(w, http.StatusBadRequest, "no keys")
+		return
+	}
+	if len(req.Keys) > rt.opts.MaxBatch {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d keys exceeds batch limit %d", len(req.Keys), rt.opts.MaxBatch))
+		return
+	}
+	// Group keys by partition owner, remembering each key's position so
+	// worker verdicts splice back in request order.
+	K := rt.ring.Workers()
+	subKeys := make([][]string, K)
+	subPos := make([][]int, K)
+	for i, ks := range req.Keys {
+		k, err := server.ParseKey(ks)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		owner := rt.ring.Owner(k)
+		subKeys[owner] = append(subKeys[owner], ks)
+		subPos[owner] = append(subPos[owner], i)
+	}
+
+	verdicts := make([]json.RawMessage, len(req.Keys))
+	staleTotals := make([]int, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for worker := 0; worker < K; worker++ {
+		if len(subKeys[worker]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"keys": subKeys[worker]})
+			wr, err := rt.do(r.Context(), http.MethodPost, worker, "/v1/stale", body)
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			if wr.status != http.StatusOK {
+				errs[worker] = fmt.Errorf("worker %d: status %d", worker, wr.status)
+				return
+			}
+			var sub subBatchResp
+			if err := json.Unmarshal(wr.body, &sub); err != nil {
+				errs[worker] = fmt.Errorf("worker %d: %v", worker, err)
+				return
+			}
+			if len(sub.Verdicts) != len(subKeys[worker]) {
+				errs[worker] = fmt.Errorf("worker %d: %d verdicts for %d keys", worker, len(sub.Verdicts), len(subKeys[worker]))
+				return
+			}
+			for i, v := range sub.Verdicts {
+				verdicts[subPos[worker][i]] = v
+			}
+			staleTotals[worker] = sub.Stale
+		}(worker)
+	}
+	wg.Wait()
+
+	var down []int
+	stale := 0
+	for worker := 0; worker < K; worker++ {
+		if errs[worker] != nil {
+			down = append(down, worker)
+			// Positional placeholders keep count == len(keys) and the
+			// response order aligned with the request; visibility
+			// "unavailable" is the partition-down analogue of
+			// "untracked".
+			for _, pos := range subPos[worker] {
+				verdicts[pos] = json.RawMessage(fmt.Sprintf(
+					`{"key":%q,"tracked":false,"stale":false,"visibility":"unavailable","potentialMonitors":0}`,
+					req.Keys[pos]))
+			}
+			continue
+		}
+		stale += staleTotals[worker]
+	}
+
+	size := 0
+	for i := range verdicts {
+		size += len(verdicts[i]) + 1
+	}
+	var buf bytes.Buffer
+	buf.Grow(size + 96)
+	buf.WriteString(`{"stale":`)
+	buf.WriteString(strconv.Itoa(stale))
+	buf.WriteString(`,"count":`)
+	buf.WriteString(strconv.Itoa(len(verdicts)))
+	if len(down) > 0 {
+		metRouterPartial.Inc()
+		parts, _ := json.Marshal(rt.unavailablePartitions(down))
+		buf.WriteString(`,"unavailablePartitions":`)
+		buf.Write(parts)
+	}
+	buf.WriteString(`,"verdicts":[`)
+	for i := range verdicts {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(verdicts[i])
+	}
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// --- merged reads ---
+
+// fanoutAll issues the same GET to every worker concurrently, returning
+// per-worker bodies and the list of workers that failed after retry.
+func (rt *Router) fanoutAll(ctx context.Context, path string) ([][]byte, []int) {
+	K := rt.ring.Workers()
+	bodies := make([][]byte, K)
+	failed := make([]bool, K)
+	var wg sync.WaitGroup
+	for worker := 0; worker < K; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wr, err := rt.do(ctx, http.MethodGet, worker, path, nil)
+			if err != nil || wr.status != http.StatusOK {
+				failed[worker] = true
+				return
+			}
+			bodies[worker] = wr.body
+		}(worker)
+	}
+	wg.Wait()
+	var down []int
+	for worker, f := range failed {
+		if f {
+			down = append(down, worker)
+		}
+	}
+	return bodies, down
+}
+
+func (rt *Router) handleKeys(w http.ResponseWriter, r *http.Request) {
+	path := "/v1/keys"
+	if r.URL.Query().Get("stale") == "1" {
+		path += "?stale=1"
+	}
+	bodies, down := rt.fanoutAll(r.Context(), path)
+	if len(down) > 0 {
+		metRouterPartial.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":                 fmt.Sprintf("%d of %d workers unavailable", len(down), rt.ring.Workers()),
+			"unavailablePartitions": rt.unavailablePartitions(down),
+		})
+		return
+	}
+	parts := make([][]string, len(bodies))
+	for i, body := range bodies {
+		var resp struct {
+			Keys []string `json:"keys"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("worker %d keys: %v", i, err))
+			return
+		}
+		parts[i] = resp.Keys
+	}
+	merged, err := mergeKeys(parts)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": merged, "count": len(merged)})
+}
+
+// clusterStats is the merged /v1/stats wire form: the single-daemon shape
+// plus, only when degraded, the explicit unavailable-partition list.
+type clusterStats struct {
+	server.Stats
+	UnavailablePartitions []int `json:"unavailablePartitions,omitempty"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	bodies, down := rt.fanoutAll(r.Context(), "/v1/stats")
+	var parts []server.Stats
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		var st server.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("worker %d stats: %v", i, err))
+			return
+		}
+		parts = append(parts, st)
+	}
+	if len(parts) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":                 "no workers reachable",
+			"unavailablePartitions": rt.unavailablePartitions(down),
+		})
+		return
+	}
+	merged, err := mergeStats(parts, rt.hub.subscribers())
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	out := clusterStats{Stats: merged}
+	if len(down) > 0 {
+		metRouterPartial.Inc()
+		out.UnavailablePartitions = rt.unavailablePartitions(down)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCluster is the router's own topology endpoint: per-worker
+// identity, readiness, and unmerged stats — the debuggable counterpart of
+// the anonymous sums /v1/stats serves.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	type workerInfo struct {
+		ID         int             `json:"id"`
+		URL        string          `json:"url"`
+		Partitions int             `json:"partitions"`
+		Ready      bool            `json:"ready"`
+		Stats      json.RawMessage `json:"stats,omitempty"`
+	}
+	K := rt.ring.Workers()
+	infos := make([]workerInfo, K)
+	var wg sync.WaitGroup
+	for worker := 0; worker < K; worker++ {
+		infos[worker] = workerInfo{
+			ID:         worker,
+			URL:        rt.opts.Workers[worker],
+			Partitions: rt.ring.OwnedPartitions(worker),
+		}
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			if wr, err := rt.do(r.Context(), http.MethodGet, worker, "/readyz", nil); err == nil && wr.status == http.StatusOK {
+				infos[worker].Ready = true
+			}
+			if wr, err := rt.do(r.Context(), http.MethodGet, worker, "/v1/stats", nil); err == nil && wr.status == http.StatusOK {
+				infos[worker].Stats = json.RawMessage(bytes.TrimRight(wr.body, "\n"))
+			}
+		}(worker)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":    infos,
+		"partitions": rt.ring.Partitions(),
+		"streams":    rt.merger.allConnected(),
+	})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	_, down := rt.fanoutAll(r.Context(), "/readyz")
+	if len(down) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":                "degraded",
+			"unavailablePartitions": rt.unavailablePartitions(down),
+		})
+		return
+	}
+	if !rt.merger.allConnected() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "streams connecting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// --- merged SSE stream ---
+
+func (rt *Router) handleSignals(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := rt.hub.subscribe()
+	defer rt.hub.unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// Same preamble as a worker: clients see one daemon, not a proxy.
+	fmt.Fprintf(w, ": rrrd signal stream\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(rt.opts.Heartbeat)
+	defer heartbeat.Stop()
+	var reported uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame := <-sub.ch:
+			if d := sub.dropped.Load(); d > reported {
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+				reported = d
+			}
+			w.Write(frame)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// --- refresh + snapshot fan-out ---
+
+func (rt *Router) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Budget int `json:"budget"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Budget <= 0 {
+		writeErr(w, http.StatusBadRequest, "budget must be positive")
+		return
+	}
+	body, _ := json.Marshal(map[string]int{"budget": req.Budget})
+	K := rt.ring.Workers()
+	parts := make([][]string, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for worker := 0; worker < K; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wr, err := rt.do(r.Context(), http.MethodPost, worker, "/v1/refresh/plan", body)
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			var resp struct {
+				Keys []string `json:"keys"`
+			}
+			if err := json.Unmarshal(wr.body, &resp); err != nil {
+				errs[worker] = err
+				return
+			}
+			parts[worker] = resp.Keys
+		}(worker)
+	}
+	wg.Wait()
+	var down []int
+	var all []string
+	for worker := 0; worker < K; worker++ {
+		if errs[worker] != nil {
+			down = append(down, worker)
+			continue
+		}
+		all = append(all, parts[worker]...)
+	}
+	// Workers plan within their own slice; the union can exceed the
+	// budget, so truncate after a deterministic numeric sort. This trades
+	// the single-node priority order for partition independence — see
+	// DESIGN.md's rebalance caveats.
+	num := make([]rrr.Key, len(all))
+	for i, ks := range all {
+		k, err := server.ParseKey(ks)
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("worker plan key %q: %v", ks, err))
+			return
+		}
+		num[i] = k
+	}
+	sort.Sort(&keySorter{keys: all, num: num})
+	if len(all) > req.Budget {
+		all = all[:req.Budget]
+	}
+	resp := map[string]any{"keys": all, "planned": len(all)}
+	if len(down) > 0 {
+		metRouterPartial.Inc()
+		resp["unavailablePartitions"] = rt.unavailablePartitions(down)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type keySorter struct {
+	keys []string
+	num  []rrr.Key
+}
+
+func (s *keySorter) Len() int           { return len(s.keys) }
+func (s *keySorter) Less(i, j int) bool { return keyLess(s.num[i], s.num[j]) }
+func (s *keySorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.num[i], s.num[j] = s.num[j], s.num[i]
+}
+
+func (rt *Router) handleRefreshRecord(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var probe struct {
+		Src string `json:"src"`
+		Dst string `json:"dst"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	src, err := rrr.ParseIP(probe.Src)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "src: "+err.Error())
+		return
+	}
+	dst, err := rrr.ParseIP(probe.Dst)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "dst: "+err.Error())
+		return
+	}
+	owner := rt.ring.Owner(rrr.Key{Src: src, Dst: dst})
+	wr, err := rt.do(r.Context(), http.MethodPost, owner, "/v1/refresh/record", body)
+	if err != nil {
+		metRouterPartial.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":                 fmt.Sprintf("partition owner worker %d unavailable", owner),
+			"unavailablePartitions": rt.unavailablePartitions([]int{owner}),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(wr.status)
+	w.Write(wr.body)
+}
+
+func (rt *Router) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	K := rt.ring.Workers()
+	results := make([]json.RawMessage, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for worker := 0; worker < K; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wr, err := rt.do(r.Context(), http.MethodPost, worker, "/v1/snapshot", nil)
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			if wr.status != http.StatusOK {
+				errs[worker] = fmt.Errorf("status %d: %s", wr.status, bytes.TrimSpace(wr.body))
+				return
+			}
+			results[worker] = json.RawMessage(bytes.TrimRight(wr.body, "\n"))
+		}(worker)
+	}
+	wg.Wait()
+	for worker, err := range errs {
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("worker %d snapshot: %v", worker, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": results})
+}
+
+// --- helpers (mirrors server's writeJSON so merged bytes match) ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, code = []byte(`{"error":"response encoding failed"}`), http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

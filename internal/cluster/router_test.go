@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rrr/internal/server"
+)
+
+// startSmallCluster brings up a K=3 cluster with a fast per-worker
+// timeout, feeds idle (the tracked corpus alone answers verdicts).
+func startSmallCluster(t *testing.T, mw func(int, http.Handler) http.Handler) *LocalCluster {
+	t.Helper()
+	lc, err := StartLocal(LocalOptions{
+		Workers:       3,
+		Scale:         diffScale(),
+		RouterTimeout: 500 * time.Millisecond,
+		StreamBackoff: 20 * time.Millisecond,
+		Middleware:    mw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	if err := lc.WaitStreams(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return lc
+}
+
+// clusterKeys fetches the merged key list and splits it by owner.
+func clusterKeys(t *testing.T, lc *LocalCluster) (all []string, byWorker [][]string) {
+	t.Helper()
+	var resp struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, lc.URL()+"/v1/keys")), &resp); err != nil {
+		t.Fatal(err)
+	}
+	byWorker = make([][]string, lc.Ring.Workers())
+	for _, ks := range resp.Keys {
+		k, err := server.ParseKey(ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := lc.Ring.Owner(k)
+		byWorker[w] = append(byWorker[w], ks)
+	}
+	return resp.Keys, byWorker
+}
+
+type batchResp struct {
+	Stale                 int   `json:"stale"`
+	Count                 int   `json:"count"`
+	UnavailablePartitions []int `json:"unavailablePartitions"`
+	Verdicts              []struct {
+		Key        string `json:"key"`
+		Tracked    bool   `json:"tracked"`
+		Visibility string `json:"visibility"`
+	} `json:"verdicts"`
+}
+
+// TestRouterWorkerDownMidBatch kills one worker and checks the batch
+// endpoint degrades to an explicit partial response: placeholder verdicts
+// for the dead worker's keys, live verdicts for the rest, and the downed
+// partitions listed.
+func TestRouterWorkerDownMidBatch(t *testing.T) {
+	lc := startSmallCluster(t, nil)
+	all, byWorker := clusterKeys(t, lc)
+	const down = 1
+	if len(byWorker[down]) == 0 {
+		t.Fatalf("worker %d owns no keys; pick another corpus seed", down)
+	}
+	lc.Workers[down].StopHTTP()
+
+	body, _ := json.Marshal(map[string]any{"keys": all})
+	var resp batchResp
+	if err := json.Unmarshal([]byte(httpPost(t, lc.URL()+"/v1/stale", string(body))), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != len(all) {
+		t.Fatalf("count = %d, want %d (positional alignment must survive a down worker)", resp.Count, len(all))
+	}
+	wantParts := lc.Ring.WorkerPartitions(down)
+	if len(resp.UnavailablePartitions) != len(wantParts) {
+		t.Fatalf("unavailablePartitions = %v, want worker %d's %v", resp.UnavailablePartitions, down, wantParts)
+	}
+	for i, v := range resp.Verdicts {
+		if v.Key != all[i] {
+			t.Fatalf("verdict %d is for %q, want %q", i, v.Key, all[i])
+		}
+		owner := ownerOf(t, lc, v.Key)
+		if owner == down {
+			if v.Visibility != "unavailable" || v.Tracked {
+				t.Fatalf("verdict for %q (down worker): visibility %q tracked %v", v.Key, v.Visibility, v.Tracked)
+			}
+		} else if v.Visibility == "unavailable" {
+			t.Fatalf("verdict for %q marked unavailable but worker %d is up", v.Key, owner)
+		}
+	}
+}
+
+func ownerOf(t *testing.T, lc *LocalCluster, ks string) int {
+	t.Helper()
+	k, err := server.ParseKey(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lc.Ring.Owner(k)
+}
+
+// TestRouterSlowWorkerTimeout wedges one worker's batch endpoint past the
+// per-worker timeout and checks the router returns a partial response
+// instead of hanging the whole batch.
+func TestRouterSlowWorkerTimeout(t *testing.T) {
+	const slow = 2
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	mw := func(id int, h http.Handler) http.Handler {
+		if id != slow {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/stale" {
+				select {
+				case <-block: // wedged until test teardown
+				case <-r.Context().Done():
+				}
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	lc := startSmallCluster(t, mw)
+	all, byWorker := clusterKeys(t, lc)
+	if len(byWorker[slow]) == 0 {
+		t.Fatalf("worker %d owns no keys", slow)
+	}
+
+	body, _ := json.Marshal(map[string]any{"keys": all})
+	start := time.Now()
+	var resp batchResp
+	if err := json.Unmarshal([]byte(httpPost(t, lc.URL()+"/v1/stale", string(body))), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Timeout + one retry, plus slack: the batch must not wait on the
+	// wedged worker indefinitely.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("batch took %v against a wedged worker", elapsed)
+	}
+	if resp.Count != len(all) {
+		t.Fatalf("count = %d, want %d", resp.Count, len(all))
+	}
+	if len(resp.UnavailablePartitions) != lc.Ring.OwnedPartitions(slow) {
+		t.Fatalf("unavailablePartitions = %v, want worker %d's %d partitions",
+			resp.UnavailablePartitions, slow, lc.Ring.OwnedPartitions(slow))
+	}
+	for i, v := range resp.Verdicts {
+		if ownerOf(t, lc, v.Key) == slow && v.Visibility != "unavailable" {
+			t.Fatalf("verdict %d for %q: visibility %q, want unavailable", i, v.Key, v.Visibility)
+		}
+	}
+}
+
+// TestRouterSSEReconnect restarts a worker under the router and checks the
+// merged stream recovers: the router reattaches to the restarted worker
+// and a full feed run still delivers an ordered stream.
+func TestRouterSSEReconnect(t *testing.T) {
+	lc := startSmallCluster(t, nil)
+
+	cap := captureStream(t, lc.URL())
+	lc.Workers[0].StopHTTP()
+	deadline := time.Now().Add(5 * time.Second)
+	for lc.Router.StreamConnected() {
+		if time.Now().After(deadline) {
+			t.Fatal("router never noticed the dead worker stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := lc.Workers[0].StartHTTP(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.WaitStreams(10 * time.Second); err != nil {
+		t.Fatalf("router did not reattach to the restarted worker: %v", err)
+	}
+
+	// The reconnected stream must still merge a full feed run.
+	lc.StartFeeds()
+	if err := lc.WaitFeeds(); err != nil {
+		t.Fatal(err)
+	}
+	stream := normalizeStream(cap.stable(t, 300*time.Millisecond, 30*time.Second))
+	if n := strings.Count(stream, "event: signal"); n == 0 {
+		t.Fatal("no signals after worker restart")
+	}
+	if n := strings.Count(stream, "event: window"); n < 10 {
+		t.Fatalf("only %d window barriers after worker restart", n)
+	}
+	// Window markers must stay strictly increasing — reconnect must not
+	// reorder the barrier.
+	var last int64 = -1
+	for _, line := range strings.Split(stream, "\n") {
+		if !strings.HasPrefix(line, "data: {\"windowStart\":") {
+			continue
+		}
+		var mk struct {
+			WindowStart int64 `json:"windowStart"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &mk); err != nil {
+			continue
+		}
+		if mk.WindowStart <= last {
+			t.Fatalf("window barrier went backwards: %d after %d", mk.WindowStart, last)
+		}
+		last = mk.WindowStart
+	}
+}

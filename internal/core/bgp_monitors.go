@@ -172,7 +172,7 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 	for _, j := range firstIdxs {
 		group := byFirst[j]
 		m := &aspMonitor{
-			id:     e.nextID(),
+			id:     e.monitorID("asp", en.Key, en.ASPath[j:].String()),
 			key:    en.Key,
 			dstIP:  en.Key.Dst,
 			aj:     en.ASPath[j],
@@ -224,7 +224,7 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 			continue
 		}
 		bm := &burstMonitor{
-			id:     e.nextID(),
+			id:     e.monitorID("burst", en.Key, suffix.String()),
 			key:    en.Key,
 			suffix: suffix.Clone(),
 			det:    anomaly.NewBitmap(),
@@ -281,7 +281,7 @@ func (e *Engine) registerBGPMonitors(en *corpus.Entry) {
 	// §4.1.3: one community monitor per τ over VPs overlapping an
 	// AS-suffix of τ.
 	cm := &commMonitor{
-		id:       e.nextID(),
+		id:       e.monitorID("comm", en.Key, ""),
 		key:      en.Key,
 		relevant: make(map[bgp.ASN][]int),
 		overlap:  make(map[bgp.VPKey]*vpCommState),

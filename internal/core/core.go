@@ -271,28 +271,51 @@ type Engine struct {
 	windowsClosed  int
 }
 
-// idAlloc issues monitor identifiers. The shards of one Sharded engine
-// share a single allocator so IDs match the serial engine's allocation
-// order exactly: per-pair monitors draw fresh IDs with next, while
-// monitors shared across corpus entries (subpaths, border-router series)
-// are named and allocate only on first use.
+// idAlloc issues monitor identifiers. Identity is content-derived: every
+// monitor is named by its scope (pair, technique, AS suffix, subpath,
+// border-router series) and its ID is a stable 63-bit FNV-1a hash of that
+// name. Content addressing makes IDs partition-invariant — a cluster
+// worker registering only its consistent-hash slice of the corpus assigns
+// each monitor exactly the ID a single daemon tracking the whole corpus
+// would, so per-pair signals (and the verdict JSON rendered from them)
+// are byte-identical under any partitioning. It also makes IDs stable
+// across refresh re-registration: a monitor with unchanged scope keeps
+// its calibration tallies along with its retained detector state. The
+// shards of one Sharded engine share the allocator for its memoization
+// map only; the hash itself needs no coordination.
 type idAlloc struct {
-	n     int
 	named map[string]int
 }
 
 func newIDAlloc() *idAlloc { return &idAlloc{named: make(map[string]int)} }
 
-func (a *idAlloc) next() int {
-	a.n++
-	return a.n
+// hashID is 64-bit FNV-1a folded to a positive int. Collisions across
+// distinct monitor names are possible in principle (~n²/2⁶³) but harmless
+// in practice: a collision would merge two monitors' calibration tallies,
+// not corrupt signal generation, and determinism — the property the
+// cluster's byte-identity proof rests on — is unaffected.
+func hashID(name string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	id := int(h & (1<<63 - 1))
+	if id == 0 {
+		id = 1 // keep 0 meaning "no monitor" everywhere
+	}
+	return id
 }
 
 func (a *idAlloc) idFor(name string) int {
 	if id, ok := a.named[name]; ok {
 		return id
 	}
-	id := a.next()
+	id := hashID(name)
 	a.named[name] = id
 	return id
 }
@@ -444,7 +467,12 @@ func (e *Engine) SetInitialIXPMembership(members map[int][]bgp.ASN) {
 // (§4.2.3's learned exception).
 func (e *Engine) AllowPrivatePeerSignals(as bgp.ASN) { e.sh.allowPriv[as] = true }
 
-func (e *Engine) nextID() int { return e.ids.next() }
+// monitorID names a per-pair monitor and returns its content-derived ID.
+// The scope string must uniquely identify the monitor within the pair
+// (e.g. the monitored AS suffix); see idAlloc for why IDs are hashes.
+func (e *Engine) monitorID(kind string, k traceroute.Key, scope string) int {
+	return e.ids.idFor(kind + ":" + k.String() + ":" + scope)
+}
 
 // WindowsClosed reports how many CloseWindow calls the engine has run.
 func (e *Engine) WindowsClosed() int { return e.windowsClosed }
@@ -494,3 +522,8 @@ func signalLess(a, b Signal) bool {
 func sortSignals(sigs []Signal) {
 	sort.Slice(sigs, func(i, j int) bool { return signalLess(sigs[i], sigs[j]) })
 }
+
+// SignalLess reports whether a orders before b in the engine's canonical
+// emission order. Exported for stream mergers — the cluster router — that
+// must reproduce serial-engine output from partitioned sources.
+func SignalLess(a, b Signal) bool { return signalLess(a, b) }

@@ -102,9 +102,9 @@ func (e *Engine) registerSubpathMonitors(en *corpus.Entry) {
 		key := subpathKeyOf(ips)
 		mon, ok := e.sh.subpaths[key]
 		if !ok {
-			// Monitors shared across entries take their ID by name from
-			// the shared allocator: only the first use of a name
-			// allocates, so the sequence matches the serial engine's.
+			// Monitors shared across entries are content-named like
+			// everything else; the shared allocator only memoizes the
+			// hash so joint watchers agree on one instance.
 			mon = &subpathMonitor{id: e.ids.idFor("sub:" + key), ips: ips, last: ips[len(ips)-1]}
 			e.sh.subpaths[key] = mon
 			e.sh.subByStart[ips[0]] = append(e.sh.subByStart[ips[0]], mon)

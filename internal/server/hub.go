@@ -33,27 +33,38 @@ func NewHub(ring int) *Hub {
 	return &Hub{subs: make(map[*Subscriber]struct{}), ring: ring}
 }
 
-// Subscriber is one attached signal consumer.
+// Event is one item on a subscriber's stream: either a pipeline signal or
+// a window-close marker (Window true) delimiting the engine's emission
+// windows. Markers let downstream mergers — the cluster router — establish
+// a barrier: once every worker has reported window W closed, every signal
+// of W is in hand and the merged stream can be flushed in total order.
+type Event struct {
+	Signal      rrr.Signal
+	WindowStart int64
+	Window      bool
+}
+
+// Subscriber is one attached event consumer.
 type Subscriber struct {
-	ch      chan rrr.Signal
+	ch      chan Event
 	dropped atomic.Uint64
 }
 
-// C is the subscriber's signal channel; drain it promptly or lose the
-// oldest buffered signals.
-func (s *Subscriber) C() <-chan rrr.Signal { return s.ch }
+// C is the subscriber's event channel; drain it promptly or lose the
+// oldest buffered events.
+func (s *Subscriber) C() <-chan Event { return s.ch }
 
 // Dropped reports how many signals overflow has discarded so far.
 func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
 
 // offer enqueues without ever blocking the publisher: on a full ring it
-// evicts the oldest buffered signal and retries. The retry count is
-// bounded; under pathological contention the new signal itself is counted
+// evicts the oldest buffered event and retries. The retry count is
+// bounded; under pathological contention the new event itself is counted
 // dropped instead of spinning.
-func (s *Subscriber) offer(sig rrr.Signal) {
+func (s *Subscriber) offer(ev Event) {
 	for i := 0; i < 4; i++ {
 		select {
-		case s.ch <- sig:
+		case s.ch <- ev:
 			return
 		default:
 		}
@@ -70,7 +81,7 @@ func (s *Subscriber) offer(sig rrr.Signal) {
 
 // Subscribe attaches a new subscriber.
 func (h *Hub) Subscribe() *Subscriber {
-	sub := &Subscriber{ch: make(chan rrr.Signal, h.ring)}
+	sub := &Subscriber{ch: make(chan Event, h.ring)}
 	h.mu.Lock()
 	h.subs[sub] = struct{}{}
 	metHubSubscribers.Set(int64(len(h.subs)))
@@ -98,10 +109,23 @@ func (h *Hub) Subscribers() int {
 // Publish delivers a signal to every subscriber without blocking. Safe for
 // use as a Pipeline sink.
 func (h *Hub) Publish(sig rrr.Signal) {
+	h.publish(Event{Signal: sig})
+}
+
+// PublishWindow delivers a window-close marker to every subscriber. The
+// pipeline calls it after all of a window's signals have been published,
+// so on any single subscriber's stream the marker strictly follows the
+// window's signals (drop-oldest overflow can discard either — dropped
+// counts surface the gap).
+func (h *Hub) PublishWindow(ws int64) {
+	h.publish(Event{WindowStart: ws, Window: true})
+}
+
+func (h *Hub) publish(ev Event) {
 	metHubPublished.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for sub := range h.subs {
-		sub.offer(sig)
+		sub.offer(ev)
 	}
 }

@@ -42,8 +42,8 @@ func TestHubSlowSubscriberDrops(t *testing.T) {
 	}
 	// What survives is the newest tail, not the oldest head.
 	got := <-slow.C()
-	if got.WindowStart < 4 {
-		t.Fatalf("survivor window %d; drop-oldest should keep the tail", got.WindowStart)
+	if got.Signal.WindowStart < 4 {
+		t.Fatalf("survivor window %d; drop-oldest should keep the tail", got.Signal.WindowStart)
 	}
 }
 
@@ -57,8 +57,8 @@ func TestHubFanoutAndUnsubscribe(t *testing.T) {
 	for _, sub := range []*Subscriber{a, b} {
 		select {
 		case s := <-sub.C():
-			if s.WindowStart != 1 {
-				t.Fatalf("got window %d", s.WindowStart)
+			if s.Signal.WindowStart != 1 {
+				t.Fatalf("got window %d", s.Signal.WindowStart)
 			}
 		default:
 			t.Fatal("subscriber missed fan-out")
@@ -74,8 +74,8 @@ func TestHubFanoutAndUnsubscribe(t *testing.T) {
 	}
 	select {
 	case s := <-a.C():
-		if s.WindowStart != 2 {
-			t.Fatalf("got window %d", s.WindowStart)
+		if s.Signal.WindowStart != 2 {
+			t.Fatalf("got window %d", s.Signal.WindowStart)
 		}
 	default:
 		t.Fatal("remaining subscriber missed publish")
@@ -83,4 +83,31 @@ func TestHubFanoutAndUnsubscribe(t *testing.T) {
 	// Double unsubscribe and publish-after-unsubscribe must not panic.
 	h.Unsubscribe(b)
 	h.Publish(sig(3))
+}
+
+// TestHubWindowMarkers checks that PublishWindow interleaves markers with
+// signals in publish order on a subscriber's stream.
+func TestHubWindowMarkers(t *testing.T) {
+	h := NewHub(8)
+	sub := h.Subscribe()
+	h.Publish(sig(900))
+	h.PublishWindow(900)
+	h.Publish(sig(1800))
+
+	want := []Event{
+		{Signal: sig(900)},
+		{WindowStart: 900, Window: true},
+		{Signal: sig(1800)},
+	}
+	for i, w := range want {
+		select {
+		case ev := <-sub.C():
+			if ev.Window != w.Window || ev.WindowStart != w.WindowStart ||
+				ev.Signal.WindowStart != w.Signal.WindowStart {
+				t.Fatalf("event %d = %+v; want %+v", i, ev, w)
+			}
+		default:
+			t.Fatalf("event %d missing", i)
+		}
+	}
 }

@@ -105,7 +105,7 @@ func RunServeBench(sc experiments.Scale, clients, requests, batchSize int) (*Ser
 	// Phase 1: query while the pipeline ingests (the daemon's real
 	// operating point — write-lock contention and cache invalidation on
 	// every window close).
-	lat, stale, elapsed, err := runServeLoad(ts, keys, clients, perClient, batchSize)
+	lat, stale, elapsed, err := RunStaleLoad(ts, keys, clients, perClient, batchSize)
 	cancel()
 	<-pipeDone
 	if err != nil {
@@ -121,7 +121,7 @@ func RunServeBench(sc experiments.Scale, clients, requests, batchSize int) (*Ser
 		StaleVerdicts:   stale,
 		IngestedWindows: mon.WindowsClosed() - windowsBefore,
 	}
-	res.P50, res.P90, res.P99 = percentiles(lat)
+	res.P50, res.P90, res.P99 = Percentiles(lat)
 	if elapsed > 0 {
 		res.ReqPerSec = float64(total) / elapsed.Seconds()
 		res.KeysPerSec = res.ReqPerSec * float64(batchSize)
@@ -129,12 +129,12 @@ func RunServeBench(sc experiments.Scale, clients, requests, batchSize int) (*Ser
 
 	// Phase 2: identical load against the now-quiet monitor — the cached
 	// read path.
-	lat, _, elapsed, err = runServeLoad(ts, keys, clients, perClient, batchSize)
+	lat, _, elapsed, err = RunStaleLoad(ts, keys, clients, perClient, batchSize)
 	if err != nil {
 		return nil, err
 	}
 	res.CachedElapsed = elapsed
-	res.CachedP50, res.CachedP90, res.CachedP99 = percentiles(lat)
+	res.CachedP50, res.CachedP90, res.CachedP99 = Percentiles(lat)
 	if elapsed > 0 {
 		res.CachedReqPerSec = float64(total) / elapsed.Seconds()
 		res.CachedKeysPerSec = res.CachedReqPerSec * float64(batchSize)
@@ -142,10 +142,12 @@ func RunServeBench(sc experiments.Scale, clients, requests, batchSize int) (*Ser
 	return res, nil
 }
 
-// runServeLoad fires `clients` goroutines each issuing `perClient` batch
-// requests of `batchSize` random corpus keys, returning the merged
-// latencies, total stale verdicts, and wall-clock elapsed.
-func runServeLoad(ts *httptest.Server, keys []rrr.Key, clients, perClient, batchSize int) ([]time.Duration, int, time.Duration, error) {
+// RunStaleLoad fires `clients` goroutines each issuing `perClient` batch
+// requests of `batchSize` random corpus keys against ts's POST /v1/stale,
+// returning the merged sorted latencies, total stale verdicts, and
+// wall-clock elapsed. Exported so the cluster bench can drive the same
+// load against a router front end and compare like with like.
+func RunStaleLoad(ts *httptest.Server, keys []rrr.Key, clients, perClient, batchSize int) ([]time.Duration, int, time.Duration, error) {
 	type clientStats struct {
 		lat   []time.Duration
 		stale int
@@ -257,7 +259,8 @@ func parseStalePrefix(body io.Reader) (int, error) {
 	return v, nil
 }
 
-func percentiles(lat []time.Duration) (p50, p90, p99 time.Duration) {
+// Percentiles reads p50/p90/p99 off a latency slice sorted ascending.
+func Percentiles(lat []time.Duration) (p50, p90, p99 time.Duration) {
 	pct := func(p float64) time.Duration {
 		if len(lat) == 0 {
 			return 0

@@ -58,6 +58,18 @@ type Config struct {
 	// WALStatus, when set, surfaces the write-ahead log's state in
 	// GET /v1/stats (policy, segment count, records, bytes).
 	WALStatus func() wal.Status
+	// Worker, when set, identifies this server as one cluster partition
+	// owner in GET /v1/stats, so merged cluster stats stay debuggable
+	// instead of anonymous sums. Single-node daemons leave it nil and
+	// their stats are byte-identical to pre-cluster builds.
+	Worker *WorkerIdentity
+}
+
+// WorkerIdentity names one cluster worker and its share of the hash ring.
+type WorkerIdentity struct {
+	ID         int `json:"id"`
+	Workers    int `json:"workers"`
+	Partitions int `json:"partitions"`
 }
 
 // Server serves staleness queries from a Monitor.
@@ -125,6 +137,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // without blocking ingestion. Compose with other sinks via rrr.Tee.
 func (s *Server) Publish(sig rrr.Signal) { s.hub.Publish(sig) }
 
+// PublishWindowClose fans a window-close marker out to SSE subscribers.
+// Wire it to PipelineConfig.OnWindowClose so streams carry `event: window`
+// frames delimiting each engine window — the ordering barrier the cluster
+// router's stream merger relies on.
+func (s *Server) PublishWindowClose(ws int64) { s.hub.PublishWindow(ws) }
+
 // Hub exposes the subscriber hub (for tests and stats).
 func (s *Server) Hub() *Hub { return s.hub }
 
@@ -179,6 +197,45 @@ func toSignalJSON(sig rrr.Signal) signalJSON {
 		Score:       sig.Score,
 		VPCount:     sig.VPCount,
 	}
+}
+
+// techniqueByName inverts Technique.String for wire-form decoding.
+var techniqueByName = map[string]rrr.Technique{
+	rrr.TechBGPASPath.String():     rrr.TechBGPASPath,
+	rrr.TechBGPCommunity.String():  rrr.TechBGPCommunity,
+	rrr.TechBGPBurst.String():      rrr.TechBGPBurst,
+	rrr.TechTraceSubpath.String():  rrr.TechTraceSubpath,
+	rrr.TechTraceBorder.String():   rrr.TechTraceBorder,
+	rrr.TechIXPMembership.String(): rrr.TechIXPMembership,
+}
+
+// ParseSignal decodes an /v1/signals wire-form signal back into the
+// engine's representation. The cluster router uses the decoded form only
+// for ordering (rrr.SignalLess) and re-emits the original bytes, so the
+// fields ParseSignal recovers are exactly the ones the wire form carries.
+func ParseSignal(data []byte) (rrr.Signal, error) {
+	var sj signalJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return rrr.Signal{}, err
+	}
+	k, err := ParseKey(sj.Key)
+	if err != nil {
+		return rrr.Signal{}, err
+	}
+	t, ok := techniqueByName[sj.Technique]
+	if !ok {
+		return rrr.Signal{}, fmt.Errorf("unknown technique %q", sj.Technique)
+	}
+	return rrr.Signal{
+		Technique:   t,
+		Key:         k,
+		MonitorID:   sj.MonitorID,
+		WindowStart: sj.WindowStart,
+		Borders:     sj.Borders,
+		Detail:      sj.Detail,
+		Score:       sj.Score,
+		VPCount:     sj.VPCount,
+	}, nil
 }
 
 // Verdict is the staleness answer for one pair, including §6.2's
@@ -387,6 +444,9 @@ type Stats struct {
 	// fields are log-deterministic (same record sequence → same values),
 	// preserving the byte-for-byte restart guarantee above.
 	WAL *wal.Status `json:"wal,omitempty"`
+	// Worker identifies this server's cluster partition slice; absent on
+	// single-node daemons.
+	Worker *WorkerIdentity `json:"worker,omitempty"`
 }
 
 func (s *Server) stats() Stats {
@@ -409,6 +469,7 @@ func (s *Server) stats() Stats {
 		ws := s.cfg.WALStatus()
 		st.WAL = &ws
 	}
+	st.Worker = s.cfg.Worker
 	return st
 }
 
@@ -440,12 +501,17 @@ func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case sig := <-sub.C():
+		case ev := <-sub.C():
 			if d := sub.Dropped(); d > reported {
 				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
 				reported = d
 			}
-			data, err := json.Marshal(toSignalJSON(sig))
+			if ev.Window {
+				fmt.Fprintf(w, "event: window\ndata: {\"windowStart\":%d}\n\n", ev.WindowStart)
+				fl.Flush()
+				continue
+			}
+			data, err := json.Marshal(toSignalJSON(ev.Signal))
 			if err != nil {
 				continue
 			}

@@ -193,6 +193,13 @@ type PipelineConfig struct {
 	// point, and Resume's open-window records seed the positional replay
 	// lists so the reopened feeds' re-delivery of them is skipped.
 	Resume *ResumeState
+
+	// OnWindowClose, when set, is invoked once per closed window, after
+	// the window's signals have reached Sink and the WAL has recorded the
+	// close. Sinks that stream signals (the SSE hub) use it to emit
+	// window markers so downstream consumers can tell "no signals yet"
+	// from "window done, none emitted".
+	OnWindowClose func(windowStart int64)
 }
 
 // feedItem carries one decoded record or a terminal reader error.
@@ -754,6 +761,9 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 			if err := cfg.WAL.WindowClosed(ws); err != nil {
 				walErr = fmt.Errorf("rrr: wal window sync: %w", err)
 			}
+		}
+		if cfg.OnWindowClose != nil {
+			cfg.OnWindowClose(ws)
 		}
 	}
 	// Window indices use floor division so a pre-epoch (negative)

@@ -96,6 +96,11 @@ const (
 // calibration windows, revocation enabled.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// SignalLess reports whether a orders before b in the engine's canonical
+// per-window emission order; merging partitioned streams with it
+// reproduces single-engine output byte for byte.
+func SignalLess(a, b Signal) bool { return core.SignalLess(a, b) }
+
 // MakeCommunity builds a community from the defining AS and value.
 func MakeCommunity(as ASN, value uint16) Community { return bgp.MakeCommunity(as, value) }
 
