@@ -6,9 +6,10 @@ FUZZ_TARGETS := \
 	internal/bgp:FuzzTextReader \
 	internal/bgp:FuzzParsePath \
 	internal/bgp:FuzzParseCommunity \
-	internal/wal:FuzzWALReader
+	internal/wal:FuzzWALReader \
+	internal/feedwire:FuzzFrameReader
 
-.PHONY: build test vet race bench bench-json fuzz crashtest clustertest verify
+.PHONY: build test vet race bench bench-json fuzz crashtest clustertest feedtest verify
 
 build:
 	$(GO) build ./...
@@ -39,10 +40,10 @@ bench:
 # for the worst case (a 1-core runner, where router, K workers, and the
 # load generator all share the core); multi-core hosts clear it by a
 # wide margin.
-BENCH_PR ?= pr7
+BENCH_PR ?= pr8
 bench-json:
-	$(GO) run ./cmd/rrrbench -only enginebench,servebench,clusterbench -benchout BENCH_$(BENCH_PR).json
-	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/rrrbench -only enginebench,servebench,clusterbench,feedbench -benchout BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 -min-feed-frac 0.2 BENCH_$(BENCH_PR).json
 
 # Short fuzz pass over every entry point that consumes untrusted bytes:
 # the BGP parsers (MRT, binary, and text codecs; path and community
@@ -70,6 +71,14 @@ crashtest:
 clustertest:
 	$(GO) test -race -count=1 ./internal/cluster -run 'TestClusterDifferential|TestRouter|TestRing' -v
 	$(GO) test -race -count=1 ./internal/wal -run TestClusterCrashTorture -v
+
+# Networked-feed acceptance under the race detector: the wire
+# differential (a daemon fed over TCP — including forced mid-window
+# disconnects and a slow consumer tripping the drop policy — is
+# byte-identical to in-process feeds) plus the frame codec's truncation
+# and corruption suite.
+feedtest:
+	$(GO) test -race -count=1 ./internal/feedwire -run 'TestWireDifferential|TestFrameReader' -v
 
 # Tier-1 verification plus vet and the race pass. The server tests scrape
 # GET /metrics (format, layer coverage, concurrent-scrape race-cleanliness).

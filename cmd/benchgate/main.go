@@ -40,12 +40,20 @@ type benchRecord struct {
 			ReqPerSec float64 `json:"ReqPerSec"`
 		} `json:"Routed"`
 	} `json:"cluster"`
+	Feed *struct {
+		Updates      int     `json:"Updates"`
+		Traces       int     `json:"Traces"`
+		InProcPerSec float64 `json:"InProcPerSec"`
+		WirePerSec   float64 `json:"WirePerSec"`
+		WireFrac     float64 `json:"WireFrac"`
+	} `json:"feed"`
 }
 
 func main() {
 	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum 2-shard engine speedup (gated only when gomaxprocs > 1)")
 	minReqPerSec := flag.Float64("min-reqps", 0, "minimum servebench requests/sec (0 disables)")
 	minClusterFrac := flag.Float64("min-cluster-frac", 0, "minimum routed-cluster req/s as a fraction of the single-node baseline, at every worker count (0 disables)")
+	minFeedFrac := flag.Float64("min-feed-frac", 0, "minimum wire feed-ingest throughput as a fraction of the in-process baseline (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [-min-speedup X] [-min-reqps Y] BENCH.json")
@@ -123,6 +131,22 @@ func main() {
 				fmt.Fprintln(os.Stderr, "benchgate: FAIL cluster record has no routed topologies")
 				failed = true
 			}
+		}
+	}
+	if *minFeedFrac > 0 {
+		switch {
+		case rec.Feed == nil:
+			fmt.Println("benchgate: no feed record; feed gate skipped")
+		case rec.Feed.Updates+rec.Feed.Traces == 0 || rec.Feed.InProcPerSec <= 0:
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL feed record is empty")
+			failed = true
+		case rec.Feed.WireFrac < *minFeedFrac:
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL wire feed %.0f rec/s = %.3fx in-process %.0f, below %.3fx (sha=%s)\n",
+				rec.Feed.WirePerSec, rec.Feed.WireFrac, rec.Feed.InProcPerSec, *minFeedFrac, rec.GitSHA)
+			failed = true
+		default:
+			fmt.Printf("benchgate: ok wire feed %.0f rec/s = %.3fx in-process (>= %.3fx)\n",
+				rec.Feed.WirePerSec, rec.Feed.WireFrac, *minFeedFrac)
 		}
 	}
 	if failed {

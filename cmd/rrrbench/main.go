@@ -20,6 +20,7 @@ import (
 
 	"rrr/internal/cluster"
 	"rrr/internal/experiments"
+	"rrr/internal/feedwire"
 	"rrr/internal/obs"
 	"rrr/internal/server"
 )
@@ -28,7 +29,7 @@ func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	days := flag.Int("days", 0, "override experiment duration in days")
 	seed := flag.Int64("seed", 0, "override simulation seed (0 keeps the scale default)")
-	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench,clusterbench)")
+	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench,clusterbench,feedbench)")
 	shards := flag.String("shards", "1,2,4", "shard counts for -only enginebench (comma-separated)")
 	clients := flag.Int("clients", 8, "concurrent clients for -only servebench/clusterbench")
 	requests := flag.Int("requests", 2000, "total batch requests for -only servebench/clusterbench")
@@ -173,13 +174,23 @@ func main() {
 		clusterResult = r
 		printClusterBench(r)
 	}
+	var feedResult *feedwire.BenchResult
+	if len(want) != 0 && want["feedbench"] {
+		r, err := feedwire.RunBench(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feedbench: %v\n", err)
+			os.Exit(1)
+		}
+		feedResult = r
+		printFeedBench(r)
+	}
 
 	if *metrics {
 		fmt.Println("\n=== Metrics registry ===")
 		obs.Default.WritePrometheus(os.Stdout)
 	}
 	if *benchout != "" {
-		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult, clusterResult); err != nil {
+		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult, clusterResult, feedResult); err != nil {
 			fmt.Fprintf(os.Stderr, "benchout: %v\n", err)
 			os.Exit(1)
 		}
@@ -207,7 +218,10 @@ type benchJSON struct {
 	// partition count those topologies divided.
 	Cluster           *cluster.BenchResult `json:"cluster,omitempty"`
 	ClusterPartitions int                  `json:"clusterPartitions,omitempty"`
-	Metrics           map[string]float64   `json:"metrics"`
+	// Feed records networked-feed ingest throughput against the
+	// in-process baseline; benchgate floors Feed.WireFrac.
+	Feed    *feedwire.BenchResult `json:"feed,omitempty"`
+	Metrics map[string]float64    `json:"metrics"`
 }
 
 func gitSHA() string {
@@ -220,7 +234,7 @@ func gitSHA() string {
 
 func writeBenchJSON(path, scale string, sc experiments.Scale,
 	engine []experiments.EngineBenchResult, serve *server.ServeBenchResult,
-	clusterRes *cluster.BenchResult) error {
+	clusterRes *cluster.BenchResult, feed *feedwire.BenchResult) error {
 	out := benchJSON{
 		Scale:      scale,
 		Days:       sc.Days,
@@ -230,6 +244,7 @@ func writeBenchJSON(path, scale string, sc experiments.Scale,
 		Engine:     engine,
 		Serve:      serve,
 		Cluster:    clusterRes,
+		Feed:       feed,
 		Metrics:    obs.Default.Snapshot(),
 	}
 	if clusterRes != nil {
@@ -275,6 +290,15 @@ func printClusterBench(r *cluster.BenchResult) {
 	for _, t := range r.Routed {
 		row(fmt.Sprintf("router K=%d", t.Workers), t)
 	}
+}
+
+func printFeedBench(r *feedwire.BenchResult) {
+	fmt.Println("\n=== Feed bench: wire ingest vs in-process ===")
+	fmt.Printf("records: %d updates + %d traces per run\n", r.Updates, r.Traces)
+	fmt.Printf("%-12s %-12s %-14s\n", "mode", "elapsed", "records/s")
+	fmt.Printf("%-12s %-12s %-14.0f\n", "in-process", r.InProcElapsed.Round(time.Microsecond), r.InProcPerSec)
+	fmt.Printf("%-12s %-12s %-14.0f\n", "wire", r.WireElapsed.Round(time.Microsecond), r.WirePerSec)
+	fmt.Printf("wire fraction of in-process: %.3f\n", r.WireFrac)
 }
 
 func printEngineBench(rs []experiments.EngineBenchResult) {

@@ -50,6 +50,7 @@ import (
 	"rrr"
 	"rrr/internal/cluster"
 	"rrr/internal/experiments"
+	"rrr/internal/feedwire"
 	"rrr/internal/obs"
 	"rrr/internal/server"
 	"rrr/internal/wal"
@@ -77,6 +78,14 @@ type options struct {
 	feedBackoff time.Duration
 	verbose     bool
 
+	// Networked feed mode: ingest from an rrrfeedd server instead of the
+	// in-process simulator feeds. Reconnect/resume rides the pipeline's
+	// RetryPolicy + window-aligned positional replay.
+	feedAddr   string
+	feedBuffer int
+	feedPolicy string
+	feedStall  time.Duration
+
 	// Cluster worker mode: this daemon ingests the full feed but tracks
 	// only the corpus pairs its consistent-hash slice owns. Front K such
 	// workers with rrrd-router to serve the merged corpus.
@@ -103,6 +112,10 @@ func main() {
 	flag.IntVar(&o.feedRetries, "feed-retries", 5, "transient feed failures tolerated per window before a feed is declared dead")
 	flag.DurationVar(&o.feedBackoff, "feed-backoff", 500*time.Millisecond, "initial retry backoff after a feed failure (doubles per attempt)")
 	flag.BoolVar(&o.verbose, "v", false, "log every signal")
+	flag.StringVar(&o.feedAddr, "feed-addr", "", "rrrfeedd address to ingest from over TCP (empty = in-process simulator feeds)")
+	flag.IntVar(&o.feedBuffer, "feed-buffer", feedwire.DefaultBuffer, "per-stream client record buffer for -feed-addr")
+	flag.StringVar(&o.feedPolicy, "feed-policy", "block", "full-buffer policy for -feed-addr: block (TCP backpressure) or disconnect (drop + reconnect)")
+	flag.DurationVar(&o.feedStall, "feed-stall", 5*time.Second, "how long the disconnect policy tolerates a full buffer before dropping the connection")
 	flag.IntVar(&o.workerID, "worker-id", -1, "cluster worker ID in [0, -workers); -1 runs single-node")
 	flag.IntVar(&o.workers, "workers", 0, "cluster worker count (with -worker-id)")
 	flag.IntVar(&o.partitions, "partitions", cluster.DefaultPartitions, "cluster hash-ring partition count (must match the router)")
@@ -292,22 +305,8 @@ func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// The simulated feeds regenerate deterministically from their
-	// beginning; after a recovery replay the pipeline resumes at the open
-	// window, so skip everything before it (the replay ingested the open
-	// window's prefix, and positional replay matching skips exactly that
-	// prefix as the feed re-delivers it).
-	var updates rrr.UpdateSource = env.Updates
-	var traces rrr.TraceSource = env.Traces
-	if resume != nil && resume.WindowStart != rrr.ResumeAll {
-		updates = rrr.SkipUpdatesBefore(updates, resume.WindowStart)
-		traces = rrr.SkipTracesBefore(traces, resume.WindowStart)
-	}
-
 	pipeCfg := rrr.PipelineConfig{
-		Updates: updates,
-		Traces:  traces,
-		Sink:    sink,
+		Sink: sink,
 		Retry: rrr.RetryPolicy{
 			MaxRetries:         o.feedRetries,
 			Backoff:            o.feedBackoff,
@@ -317,6 +316,40 @@ func run(o options) error {
 		Health:        health,
 		Resume:        resume,
 		OnWindowClose: srv.PublishWindowClose,
+	}
+	if o.feedAddr != "" {
+		// Networked feeds: every pipeline (re)open dials rrrfeedd fresh,
+		// resuming window-aligned from the since the supervisor passes —
+		// reconnect after a cut and resume after WAL recovery are the
+		// same code path.
+		policy, err := feedwire.ParsePolicy(o.feedPolicy)
+		if err != nil {
+			return err
+		}
+		conn := feedwire.NewConnector(feedwire.ConnectorConfig{
+			Addr:         o.feedAddr,
+			Buffer:       o.feedBuffer,
+			Policy:       policy,
+			StallTimeout: o.feedStall,
+		})
+		defer conn.Close()
+		log.Printf("rrrd: ingesting over the wire from %s (buffer %d, policy %s)", o.feedAddr, o.feedBuffer, o.feedPolicy)
+		pipeCfg.OpenUpdates = func(since int64) (rrr.UpdateSource, error) { return conn.OpenUpdates(since) }
+		pipeCfg.OpenTraces = func(since int64) (rrr.TraceSource, error) { return conn.OpenTraces(since) }
+	} else {
+		// The simulated feeds regenerate deterministically from their
+		// beginning; after a recovery replay the pipeline resumes at the
+		// open window, so skip everything before it (the replay ingested
+		// the open window's prefix, and positional replay matching skips
+		// exactly that prefix as the feed re-delivers it).
+		var updates rrr.UpdateSource = env.Updates
+		var traces rrr.TraceSource = env.Traces
+		if resume != nil && resume.WindowStart != rrr.ResumeAll {
+			updates = rrr.SkipUpdatesBefore(updates, resume.WindowStart)
+			traces = rrr.SkipTracesBefore(traces, resume.WindowStart)
+		}
+		pipeCfg.Updates = updates
+		pipeCfg.Traces = traces
 	}
 	if w != nil {
 		pipeCfg.WAL = w

@@ -26,6 +26,10 @@ type LocalOptions struct {
 	// Middleware, when set, wraps each worker's handler (by worker ID) —
 	// failure tests inject latency or errors here.
 	Middleware func(workerID int, h http.Handler) http.Handler
+	// Tune, when set, adjusts every worker's engine config after the
+	// scale defaults are applied — regression tests pin thresholds (a
+	// community FP quota, say) identically across workers and baseline.
+	Tune func(cfg *rrr.Config)
 }
 
 // LocalWorker is one in-process rrrd worker: a Monitor tracking its ring
@@ -95,11 +99,14 @@ type LocalCluster struct {
 // priming the RIB from the dump and tracking only the pairs `ring` assigns
 // to worker `id` (a nil ring tracks everything — the single-daemon
 // baseline).
-func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int) (*rrr.Monitor, *experiments.DaemonEnv, error) {
+func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int, tune func(cfg *rrr.Config)) (*rrr.Monitor, *experiments.DaemonEnv, error) {
 	env := experiments.NewDaemonEnv(sc, 0)
 	cfg := rrr.DefaultConfig()
 	cfg.WindowSec = sc.WindowSec
 	cfg.Shards = sc.Shards
+	if tune != nil {
+		tune(&cfg)
+	}
 	mon, err := rrr.NewMonitor(rrr.Options{
 		Config:     cfg,
 		Mapper:     env.Mapper,
@@ -127,8 +134,12 @@ func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int) (*rrr.Monitor, *
 // StartLocalDaemon builds the single-node baseline the differential tests
 // compare the cluster against: same scale, same feeds, full corpus, no
 // worker identity.
-func StartLocalDaemon(sc experiments.Scale) (*LocalWorker, error) {
-	mon, env, err := newWorkerMonitor(sc, nil, 0)
+func StartLocalDaemon(sc experiments.Scale, tune ...func(cfg *rrr.Config)) (*LocalWorker, error) {
+	var tn func(cfg *rrr.Config)
+	if len(tune) > 0 {
+		tn = tune[0]
+	}
+	mon, env, err := newWorkerMonitor(sc, nil, 0, tn)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +176,7 @@ func StartLocal(opts LocalOptions) (*LocalCluster, error) {
 	lc := &LocalCluster{Ring: ring, feedErrs: make(chan error, opts.Workers)}
 	urls := make([]string, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
-		mon, env, err := newWorkerMonitor(opts.Scale, ring, w)
+		mon, env, err := newWorkerMonitor(opts.Scale, ring, w, opts.Tune)
 		if err != nil {
 			lc.Close()
 			return nil, err

@@ -11,12 +11,15 @@ import (
 // Counter semantics:
 //
 //   - corpusSize, staleKeys, signals{}, totalSignals, revokedSignals,
-//     revokedPairEvents, prunedCommunities: sums — partitions are
-//     disjoint, so worker tallies add. (prunedCommunities is a sum of
-//     per-worker prune decisions; with refresh traffic a cluster may
-//     prune a community on one worker that a single node would prune
-//     once globally — a documented rebalance caveat, exact in the
-//     refresh-free differential runs.)
+//     revokedPairEvents: sums — partitions are disjoint, so worker
+//     tallies add.
+//   - prunedCommunities: NOT a sum. Every worker ingests the full feed,
+//     so independent workers reach the same prune decision about the
+//     same community; summing counted each decision K times. The merge
+//     unions the workers' pruned-community ID sets (each worker exposes
+//     them in its stats) and adds the largest snapshot-restored baseline
+//     (restored counts carry no IDs, and every worker restores from its
+//     own snapshot of the same globally-observed feed).
 //   - windowSec: must agree across workers (same feed clock) — a
 //     mismatch is a deployment error, reported as such.
 //   - windowsClosed: min — the conservative barrier; a lagging worker's
@@ -37,6 +40,8 @@ func mergeStats(parts []server.Stats, subscribers int) (server.Stats, error) {
 		Signals:       map[string]int{},
 		Subscribers:   subscribers,
 	}
+	prunedIDs := make(map[uint32]bool)
+	prunedBase := 0
 	for i, p := range parts {
 		if p.WindowSec != out.WindowSec {
 			return server.Stats{}, fmt.Errorf("cluster: worker %d windowSec %d != worker 0 windowSec %d",
@@ -53,7 +58,12 @@ func mergeStats(parts []server.Stats, subscribers int) (server.Stats, error) {
 		out.TotalSignals += p.TotalSignals
 		out.RevokedSignals += p.RevokedSignals
 		out.RevokedPairEvents += p.RevokedPairEvents
-		out.PrunedCommunities += p.PrunedCommunities
+		for _, id := range p.PrunedCommunityIDs {
+			prunedIDs[id] = true
+		}
+		if base := p.PrunedCommunities - len(p.PrunedCommunityIDs); base > prunedBase {
+			prunedBase = base
+		}
 		workerID := i
 		if p.Worker != nil {
 			workerID = p.Worker.ID
@@ -63,6 +73,9 @@ func mergeStats(parts []server.Stats, subscribers int) (server.Stats, error) {
 			out.Feeds = append(out.Feeds, f)
 		}
 	}
+	// De-duplicated prune count; the merged response keeps the
+	// single-daemon shape (no ID list — that field is a worker detail).
+	out.PrunedCommunities = prunedBase + len(prunedIDs)
 	return out, nil
 }
 

@@ -559,7 +559,7 @@ func (rt *Router) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
 	}
 	body, _ := json.Marshal(map[string]int{"budget": req.Budget})
 	K := rt.ring.Workers()
-	parts := make([][]string, K)
+	parts := make([][]server.PlanEntry, K)
 	errs := make([]error, K)
 	var wg sync.WaitGroup
 	for worker := 0; worker < K; worker++ {
@@ -572,60 +572,57 @@ func (rt *Router) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			var resp struct {
-				Keys []string `json:"keys"`
+				Plan []server.PlanEntry `json:"plan"`
 			}
 			if err := json.Unmarshal(wr.body, &resp); err != nil {
 				errs[worker] = err
 				return
 			}
-			parts[worker] = resp.Keys
+			parts[worker] = resp.Plan
 		}(worker)
 	}
 	wg.Wait()
 	var down []int
-	var all []string
+	cur := make([]int, K) // per-worker merge cursor
 	for worker := 0; worker < K; worker++ {
 		if errs[worker] != nil {
 			down = append(down, worker)
-			continue
+			parts[worker] = nil
 		}
-		all = append(all, parts[worker]...)
 	}
-	// Workers plan within their own slice; the union can exceed the
-	// budget, so truncate after a deterministic numeric sort. This trades
-	// the single-node priority order for partition independence — see
-	// DESIGN.md's rebalance caveats.
-	num := make([]rrr.Key, len(all))
-	for i, ks := range all {
-		k, err := server.ParseKey(ks)
-		if err != nil {
-			writeErr(w, http.StatusBadGateway, fmt.Sprintf("worker plan key %q: %v", ks, err))
-			return
+	// Each worker plans within its own slice with the full budget and
+	// returns entries in global priority order (server.PlanEntryLess), so
+	// the item at global rank r sits at rank <= r within its worker:
+	// a k-way merge of the per-worker lists, truncated at the budget,
+	// reconstructs the single-daemon priority order — no worker's
+	// below-cut entry can outrank an accepted one. (Ring ownership keeps
+	// the lists key-disjoint, so no dedup pass is needed.)
+	merged := make([]server.PlanEntry, 0, req.Budget)
+	keys := make([]string, 0, req.Budget)
+	for len(merged) < req.Budget {
+		best := -1
+		for c := 0; c < K; c++ {
+			if cur[c] >= len(parts[c]) {
+				continue
+			}
+			if best < 0 || server.PlanEntryLess(parts[c][cur[c]], parts[best][cur[best]]) {
+				best = c
+			}
 		}
-		num[i] = k
+		if best < 0 {
+			break
+		}
+		e := parts[best][cur[best]]
+		cur[best]++
+		merged = append(merged, e)
+		keys = append(keys, e.Key)
 	}
-	sort.Sort(&keySorter{keys: all, num: num})
-	if len(all) > req.Budget {
-		all = all[:req.Budget]
-	}
-	resp := map[string]any{"keys": all, "planned": len(all)}
+	resp := map[string]any{"keys": keys, "plan": merged, "planned": len(keys)}
 	if len(down) > 0 {
 		metRouterPartial.Inc()
 		resp["unavailablePartitions"] = rt.unavailablePartitions(down)
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-type keySorter struct {
-	keys []string
-	num  []rrr.Key
-}
-
-func (s *keySorter) Len() int           { return len(s.keys) }
-func (s *keySorter) Less(i, j int) bool { return keyLess(s.num[i], s.num[j]) }
-func (s *keySorter) Swap(i, j int) {
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
-	s.num[i], s.num[j] = s.num[j], s.num[i]
 }
 
 func (rt *Router) handleRefreshRecord(w http.ResponseWriter, r *http.Request) {

@@ -149,6 +149,18 @@ func (c *Calibrator) CommunityPruned(comm bgp.Community) bool {
 // (Fig 13's converging quantity).
 func (c *Calibrator) PrunedCommunityCount() int { return len(c.commPruned) }
 
+// PrunedCommunities lists the pruned community values in ascending order,
+// so a cluster merge can de-duplicate prune decisions that independent
+// workers reached about the same community.
+func (c *Calibrator) PrunedCommunities() []bgp.Community {
+	out := make([]bgp.Community, 0, len(c.commPruned))
+	for comm := range c.commPruned {
+		out = append(out, comm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // --- Refresh outcome evaluation ---
 
 // portionChanged reports whether any of the old entry's border crossings at
@@ -316,15 +328,55 @@ func (e *Engine) RemovePair(k traceroute.Key) {
 // budget, then fall back to Table 1's bootstrap ordering for uncalibrated
 // signals.
 func (e *Engine) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
+	return planKeys(refreshPlan(e.active, e.regs, e.Calib, budget, rng))
+}
+
+// RefreshPlanDetailed is RefreshPlan returning each selection with the
+// attributes it was ranked by, so a cluster router can re-merge
+// per-worker plans in global priority order.
+func (e *Engine) RefreshPlanDetailed(budget int, rng *rand.Rand) []PlanItem {
 	return refreshPlan(e.active, e.regs, e.Calib, budget, rng)
 }
 
-// refreshPlan is RefreshPlan over explicit state, so a Sharded engine can
-// merge per-shard active/registration maps and plan globally. Its outcome
-// depends only on the map contents, not iteration order: every candidate
-// list is sorted before budget is spent.
+// PlanItem is one refresh-plan selection together with its ranking
+// attributes (§4.3.1): whether the calibrated phase (steps 1-4) or the
+// Table-1 bootstrap (step 5) picked it, the selecting VP's summed
+// relative TPR for calibrated picks, and the pair's highest-priority
+// active signal — the evidence a priority merge needs to interleave
+// plans from disjoint state partitions.
+type PlanItem struct {
+	Key        traceroute.Key
+	Calibrated bool
+	VPTPR      float64
+	Sig        Signal
+}
+
+func planKeys(items []PlanItem) []traceroute.Key {
+	out := make([]traceroute.Key, len(items))
+	for i, it := range items {
+		out[i] = it.Key
+	}
+	return out
+}
+
+// bestSignal picks a pair's representative signal: its table1Less-first
+// active signal, i.e. the one a global bootstrap scan would select it by.
+func bestSignal(sigs []Signal) Signal {
+	best := sigs[0]
+	for _, s := range sigs[1:] {
+		if table1Less(s, best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// refreshPlan is RefreshPlanDetailed over explicit state, so a Sharded
+// engine can merge per-shard active/registration maps and plan globally.
+// Its outcome depends only on the map contents, not iteration order:
+// every candidate list is sorted before budget is spent.
 func refreshPlan(active map[traceroute.Key][]Signal, regs map[traceroute.Key][]Registration,
-	calib *Calibrator, budget int, rng *rand.Rand) []traceroute.Key {
+	calib *Calibrator, budget int, rng *rand.Rand) []PlanItem {
 	type vpState struct {
 		src     uint32
 		sumTPR  float64
@@ -352,7 +404,7 @@ func refreshPlan(active map[traceroute.Key][]Signal, regs map[traceroute.Key][]R
 		}
 	}
 
-	var chosen []traceroute.Key
+	var chosen []PlanItem
 	chosenSet := make(map[traceroute.Key]bool)
 	remaining := budget
 
@@ -411,7 +463,12 @@ func refreshPlan(active map[traceroute.Key][]Signal, regs map[traceroute.Key][]R
 				continue
 			}
 			if rng.Float64() <= p {
-				chosen = append(chosen, k)
+				chosen = append(chosen, PlanItem{
+					Key:        k,
+					Calibrated: true,
+					VPTPR:      st.sumTPR,
+					Sig:        bestSignal(active[k]),
+				})
 				chosenSet[k] = true
 				remaining--
 			}
@@ -435,7 +492,9 @@ func refreshPlan(active map[traceroute.Key][]Signal, regs map[traceroute.Key][]R
 			if chosenSet[s.Key] {
 				continue
 			}
-			chosen = append(chosen, s.Key)
+			// The sorted scan reaches each key first via its best signal,
+			// so s is exactly the pair's representative.
+			chosen = append(chosen, PlanItem{Key: s.Key, Sig: s})
 			chosenSet[s.Key] = true
 			remaining--
 		}

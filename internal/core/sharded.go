@@ -345,10 +345,16 @@ func (s *Sharded) AllowPrivatePeerSignals(as bgp.ASN) {
 // RefreshPlan selects up to budget flagged pairs to remeasure (§4.3.1),
 // planning over the union of every shard's active signals.
 func (s *Sharded) RefreshPlan(budget int, rng *rand.Rand) []traceroute.Key {
+	return planKeys(s.RefreshPlanDetailed(budget, rng))
+}
+
+// RefreshPlanDetailed is RefreshPlan returning each selection with its
+// ranking attributes (see PlanItem).
+func (s *Sharded) RefreshPlanDetailed(budget int, rng *rand.Rand) []PlanItem {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.shards) == 1 {
-		return s.shards[0].RefreshPlan(budget, rng)
+		return s.shards[0].RefreshPlanDetailed(budget, rng)
 	}
 	active := make(map[traceroute.Key][]Signal)
 	regs := make(map[traceroute.Key][]Registration)

@@ -69,6 +69,11 @@ var ErrInjected = errors.New("faultfeed: injected fault")
 // Config.HardErrAfter records.
 var ErrFeedDown = errors.New("faultfeed: feed down")
 
+// ErrStallInterrupted is the permanent error a stalled Read returns when
+// Config.Stop fires mid-stall: the consumer is shutting down, so the
+// record that would have followed the stall is deliberately not read.
+var ErrStallInterrupted = errors.New("faultfeed: stall interrupted by stop")
+
 // Config describes one feed's fault schedule. Probabilities are per
 // delivered record in [0,1]; zero values disable the corresponding fault.
 type Config struct {
@@ -80,6 +85,12 @@ type Config struct {
 	// modeling a feed that hangs mid-stream.
 	StallProb float64
 	StallDur  time.Duration
+
+	// Stop, when non-nil, preempts an in-progress stall: a close of this
+	// channel wakes the stalled Read immediately, which returns
+	// ErrStallInterrupted (permanent, so a retry policy lets the feed
+	// die) instead of holding shutdown hostage for up to StallDur.
+	Stop <-chan struct{}
 
 	// DupProb re-delivers a record: the copy is byte-identical and
 	// arrives immediately after the original (at-least-once transport).
@@ -204,7 +215,11 @@ func (in *injector[T]) applySkew(rec T) T {
 func (in *injector[T]) Next() (T, error) {
 	var zero T
 	if in.hit(in.cfg.StallProb) && in.cfg.StallDur > 0 {
-		time.Sleep(in.cfg.StallDur)
+		// Preemptible stall, matching the pipeline's sleepOrStop: a bare
+		// time.Sleep here held shutdown hostage for up to StallDur.
+		if !in.sleepOrStop(in.cfg.StallDur) {
+			return zero, ErrStallInterrupted
+		}
 	}
 	// Pending adjacent duplicate goes out first and is never re-duped.
 	if len(in.dup) > 0 {
@@ -235,6 +250,23 @@ func (in *injector[T]) Next() (T, error) {
 	}
 	in.afterDeliver()
 	return rec, nil
+}
+
+// sleepOrStop sleeps for d, or returns false early if cfg.Stop fires
+// first.
+func (in *injector[T]) sleepOrStop(d time.Duration) bool {
+	if in.cfg.Stop == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-in.cfg.Stop:
+		return false
+	}
 }
 
 func (in *injector[T]) afterDeliver() {

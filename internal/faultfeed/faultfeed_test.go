@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"rrr/internal/bgp"
 	"rrr/internal/traceroute"
@@ -385,4 +386,73 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	n := copy(p, r.b[r.i:])
 	r.i += n
 	return n, nil
+}
+
+// TestStallPreemptedByStop is the regression test for shutdown being held
+// hostage by an in-progress stall: with Stop wired, closing it must wake
+// the stalled Read immediately and surface ErrStallInterrupted as a
+// permanent (non-retryable) error, long before StallDur elapses.
+func TestStallPreemptedByStop(t *testing.T) {
+	stop := make(chan struct{})
+	f := Updates(bgp.NewSliceSource(mkUpdates(10)), Config{
+		Seed:      1,
+		StallProb: 1, // every delivery stalls
+		StallDur:  time.Hour,
+		Stop:      stop,
+	})
+	type result struct {
+		u   bgp.Update
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		u, err := f.Read()
+		done <- result{u, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("Read returned before stop: %+v, %v", r.u, r.err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	start := time.Now()
+	close(stop)
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, ErrStallInterrupted) {
+			t.Fatalf("interrupted stall returned %v; want ErrStallInterrupted", r.err)
+		}
+		var tmp interface{ Temporary() bool }
+		if errors.As(r.err, &tmp) && tmp.Temporary() {
+			t.Fatal("ErrStallInterrupted must be permanent, or retry policies resurrect a stopping feed")
+		}
+		if woke := time.Since(start); woke > 5*time.Second {
+			t.Fatalf("stall took %v to notice stop", woke)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled Read never woke after stop closed (shutdown held hostage)")
+	}
+	// Subsequent reads re-enter the stall and are interrupted right away
+	// by the already-closed channel — the feed stays dead while stopping.
+	if _, err := f.Read(); !errors.Is(err, ErrStallInterrupted) {
+		t.Fatalf("post-stop Read returned %v; want ErrStallInterrupted", err)
+	}
+}
+
+// TestStallWithoutStopCompletes pins the compatible default: with no Stop
+// channel configured, a stall sleeps its full duration and delivery
+// proceeds.
+func TestStallWithoutStopCompletes(t *testing.T) {
+	f := Updates(bgp.NewSliceSource(mkUpdates(3)), Config{
+		Seed:      1,
+		StallProb: 1,
+		StallDur:  time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := f.Read(); err != nil {
+			t.Fatalf("stalled delivery %d failed: %v", i, err)
+		}
+	}
+	if _, err := f.Read(); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
 }

@@ -1,0 +1,149 @@
+package faultfeed
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a deterministic flaky TCP proxy for exercising network feed
+// clients: it forwards each accepted connection to Upstream, killing the
+// n-th connection after its configured byte budget so the client sees a
+// mid-stream reset — typically a torn frame. Connections beyond the
+// budget list pass through untouched, which is what lets a differential
+// test force an exact number of disconnects and then let the stream
+// finish clean.
+type Proxy struct {
+	// Upstream is the real server's address.
+	Upstream string
+
+	// KillAfterBytes gives the i-th accepted connection's upstream→client
+	// byte budget; the connection is reset once the budget is spent. A
+	// zero or negative entry, and any connection past the end of the
+	// list, forwards without limit.
+	KillAfterBytes []int64
+
+	lis      net.Listener
+	mu       sync.Mutex
+	accepted int
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Start listens on a fresh loopback port and begins proxying.
+func (p *Proxy) Start() error {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	p.lis = lis
+	p.conns = make(map[net.Conn]struct{})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return nil
+}
+
+// Addr returns the proxy's listen address; clients dial this instead of
+// Upstream.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Accepted returns how many connections the proxy has accepted so far.
+func (p *Proxy) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// Close stops the listener and drops every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.lis.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n := p.accepted
+		p.accepted++
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.proxyConn(conn, p.budget(n))
+	}
+}
+
+func (p *Proxy) budget(n int) int64 {
+	if n >= len(p.KillAfterBytes) {
+		return -1
+	}
+	b := p.KillAfterBytes[n]
+	if b <= 0 {
+		return -1
+	}
+	return b
+}
+
+// proxyConn forwards both directions, counting upstream→client bytes
+// against budget (when non-negative) and resetting the pair once spent.
+func (p *Proxy) proxyConn(client net.Conn, budget int64) {
+	defer p.wg.Done()
+	defer func() {
+		client.Close()
+		p.mu.Lock()
+		delete(p.conns, client)
+		p.mu.Unlock()
+	}()
+
+	upstream, err := net.Dial("tcp", p.Upstream)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+
+	done := make(chan struct{}, 2)
+	// client → upstream: unlimited (handshake bytes are tiny).
+	go func() {
+		io.Copy(upstream, client)
+		done <- struct{}{}
+	}()
+	// upstream → client: budgeted. The cut lands wherever the byte count
+	// says, which is almost always mid-frame — exactly the torn-read
+	// shape a real connection reset produces.
+	go func() {
+		if budget < 0 {
+			io.Copy(client, upstream)
+		} else {
+			io.CopyN(client, upstream, budget)
+			client.Close()
+			upstream.Close()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	// Unblock the other direction and wait for it.
+	client.Close()
+	upstream.Close()
+	<-done
+}

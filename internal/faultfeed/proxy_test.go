@@ -1,0 +1,67 @@
+package faultfeed
+
+import (
+	"io"
+	"net"
+	"testing"
+)
+
+// TestProxyKillAfterBytes pins the flaky-conn proxy contract: the i-th
+// accepted connection is cut after its byte budget of upstream data, and
+// connections past the schedule flow untouched.
+func TestProxyKillAfterBytes(t *testing.T) {
+	// Upstream writes 1000 bytes then holds the connection open.
+	up, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() {
+		for {
+			c, err := up.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				c.Write(payload)
+				io.Copy(io.Discard, c) // hold open until the peer closes
+				c.Close()
+			}(c)
+		}
+	}()
+
+	p := &Proxy{Upstream: up.Addr().String(), KillAfterBytes: []int64{100}}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// First connection: cut after exactly 100 upstream bytes.
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(c1)
+	c1.Close()
+	if len(got) != 100 {
+		t.Fatalf("first connection delivered %d bytes; want 100", len(got))
+	}
+
+	// Second connection: past the schedule, everything flows.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("second connection truncated: %v", err)
+	}
+	c2.Close()
+	if p.Accepted() != 2 {
+		t.Fatalf("Accepted = %d; want 2", p.Accepted())
+	}
+}

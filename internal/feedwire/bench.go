@@ -1,0 +1,134 @@
+package feedwire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rrr/internal/experiments"
+)
+
+// BenchResult compares feed-ingest throughput over the wire against the
+// same feeds consumed in-process: the cost of framing, TCP, and the
+// client's buffered hand-off. WireFrac is the wire rate as a fraction of
+// the in-process rate — the quantity benchgate floors so a connector
+// change that serializes the hot path fails the build.
+type BenchResult struct {
+	Updates int // records per run, identical across modes by construction
+	Traces  int
+
+	InProcElapsed time.Duration
+	InProcPerSec  float64
+	WireElapsed   time.Duration
+	WirePerSec    float64
+	WireFrac      float64
+}
+
+// drainPair reads both simulator feeds to EOF concurrently — the
+// pipeline's consumption shape — and returns the per-stream record
+// counts.
+func drainPair(u UpdateSource, tr TraceSource) (nu, nt int, err error) {
+	var wg sync.WaitGroup
+	var uerr, terr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, e := u.Read(); e != nil {
+				if e != io.EOF {
+					uerr = e
+				}
+				return
+			}
+			nu++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			if _, e := tr.Read(); e != nil {
+				if e != io.EOF {
+					terr = e
+				}
+				return
+			}
+			nt++
+		}
+	}()
+	wg.Wait()
+	if uerr != nil {
+		return nu, nt, fmt.Errorf("feedwire bench: update stream: %w", uerr)
+	}
+	if terr != nil {
+		return nu, nt, fmt.Errorf("feedwire bench: trace stream: %w", terr)
+	}
+	return nu, nt, nil
+}
+
+// RunBench measures one full simulated feed drained in-process, then the
+// identical feed drained through a loopback feedwire server and client
+// connector.
+func RunBench(sc experiments.Scale) (*BenchResult, error) {
+	// In-process baseline: direct function calls into the simulator.
+	env := experiments.NewDaemonEnv(sc, 0)
+	start := time.Now()
+	nu, nt, err := drainPair(env.Updates, env.Traces)
+	if err != nil {
+		return nil, err
+	}
+	inproc := time.Since(start)
+	if nu+nt == 0 {
+		return nil, fmt.Errorf("feedwire bench: simulator produced no records")
+	}
+
+	// Wire run: same deterministic feed served over loopback TCP.
+	wenv := experiments.NewDaemonEnv(sc, 0)
+	srv, err := NewServer(Config{WindowSec: sc.WindowSec})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	srv.Pump(wenv.Updates, wenv.Traces)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(lis)
+	conn := NewConnector(ConnectorConfig{Addr: lis.Addr().String()})
+	defer conn.Close()
+
+	start = time.Now()
+	us, err := conn.OpenUpdates(ResumeAll)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := conn.OpenTraces(ResumeAll)
+	if err != nil {
+		return nil, err
+	}
+	wu, wt, err := drainPair(us, ts)
+	if err != nil {
+		return nil, err
+	}
+	wire := time.Since(start)
+	if wu != nu || wt != nt {
+		return nil, fmt.Errorf("feedwire bench: wire delivered %d+%d records, in-process %d+%d",
+			wu, wt, nu, nt)
+	}
+
+	total := float64(nu + nt)
+	r := &BenchResult{
+		Updates:       nu,
+		Traces:        nt,
+		InProcElapsed: inproc,
+		InProcPerSec:  total / inproc.Seconds(),
+		WireElapsed:   wire,
+		WirePerSec:    total / wire.Seconds(),
+	}
+	if r.InProcPerSec > 0 {
+		r.WireFrac = r.WirePerSec / r.InProcPerSec
+	}
+	return r, nil
+}

@@ -435,7 +435,12 @@ type Stats struct {
 	RevokedSignals    int            `json:"revokedSignals"`
 	RevokedPairEvents int            `json:"revokedPairEvents"`
 	PrunedCommunities int            `json:"prunedCommunities"`
-	Subscribers       int            `json:"subscribers"`
+	// PrunedCommunityIDs lists the pruned communities' values, present
+	// only on cluster workers (Worker set): every worker ingests the full
+	// feed, so the router must merge prune decisions as a set union, not
+	// a sum. Single-node responses omit it, keeping their bytes stable.
+	PrunedCommunityIDs []uint32 `json:"prunedCommunityIds,omitempty"`
+	Subscribers        int      `json:"subscribers"`
 	// Feeds is the pipeline's per-feed health (status, retries, faults
 	// absorbed); absent when the server runs without an ingesting
 	// pipeline.
@@ -464,6 +469,9 @@ func (s *Server) stats() Stats {
 	}
 	st.RevokedSignals, st.RevokedPairEvents = s.mon.RevocationStats()
 	st.PrunedCommunities = s.mon.PrunedCommunities()
+	if s.cfg.Worker != nil {
+		st.PrunedCommunityIDs = s.mon.PrunedCommunityIDs()
+	}
 	st.Feeds = s.cfg.Health.Snapshot() // nil-safe: nil Health yields no feeds
 	if s.cfg.WALStatus != nil {
 		ws := s.cfg.WALStatus()
@@ -538,12 +546,114 @@ func (s *Server) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
 	}
 	// nil rng: the Monitor falls back to its deterministic seeded source,
 	// keeping the endpoint reproducible and race-free across handlers.
-	plan := s.mon.PlanRefresh(req.Budget, nil)
+	plan := s.mon.PlanRefreshDetailed(req.Budget, nil)
 	keys := make([]string, len(plan))
-	for i, k := range plan {
-		keys[i] = FormatKey(k)
+	entries := make([]PlanEntry, len(plan))
+	for i, it := range plan {
+		keys[i] = FormatKey(it.Key)
+		entries[i] = toPlanEntry(it)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "planned": len(keys)})
+	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "plan": entries, "planned": len(keys)})
+}
+
+// PlanEntry is one /v1/refresh/plan selection with the attributes it was
+// ranked by. A cluster router re-merges workers' entries with
+// PlanEntryLess to reconstruct the global priority order; a plain client
+// can ignore everything but the keys list.
+type PlanEntry struct {
+	Key        string  `json:"key"`
+	Calibrated bool    `json:"calibrated,omitempty"`
+	VPTPR      float64 `json:"vpTpr,omitempty"`
+	Technique  string  `json:"technique"`
+	VPCount    int     `json:"vpCount,omitempty"`
+	Score      float64 `json:"score,omitempty"`
+	IPOverlap  int     `json:"ipOverlap,omitempty"`
+	ASOverlap  int     `json:"asOverlap,omitempty"`
+	SameASVP   bool    `json:"sameAsVp,omitempty"`
+	SameCityVP bool    `json:"sameCityVp,omitempty"`
+}
+
+func toPlanEntry(it rrr.PlanItem) PlanEntry {
+	return PlanEntry{
+		Key:        FormatKey(it.Key),
+		Calibrated: it.Calibrated,
+		VPTPR:      it.VPTPR,
+		Technique:  it.Sig.Technique.String(),
+		VPCount:    it.Sig.VPCount,
+		Score:      it.Sig.Score,
+		IPOverlap:  it.Sig.IPOverlap,
+		ASOverlap:  it.Sig.ASOverlap,
+		SameASVP:   it.Sig.SameASVP,
+		SameCityVP: it.Sig.SameCityVP,
+	}
+}
+
+// PlanEntryLess reports whether a outranks b in the global §4.3.1
+// priority order: calibrated selections first (VP summed TPR descending,
+// then VP address), then Table 1's bootstrap order over the
+// representative-signal attributes, with the numeric key as the final
+// deterministic tiebreak. Merging per-partition plans with it reproduces
+// a single daemon's order whenever the per-VP TPR sums do (always, in
+// the refresh-free regime where no VP is calibrated).
+func PlanEntryLess(a, b PlanEntry) bool {
+	ak, aerr := ParseKey(a.Key)
+	bk, berr := ParseKey(b.Key)
+	if aerr != nil || berr != nil {
+		return a.Key < b.Key
+	}
+	if a.Calibrated != b.Calibrated {
+		return a.Calibrated
+	}
+	if a.Calibrated {
+		if a.VPTPR != b.VPTPR {
+			return a.VPTPR > b.VPTPR
+		}
+		if ak.Src != bk.Src {
+			return ak.Src < bk.Src
+		}
+		return ak.Dst < bk.Dst
+	}
+	if a.IPOverlap != b.IPOverlap {
+		return a.IPOverlap > b.IPOverlap
+	}
+	if a.ASOverlap != b.ASOverlap {
+		return a.ASOverlap > b.ASOverlap
+	}
+	aBoth, bBoth := a.SameASVP && a.SameCityVP, b.SameASVP && b.SameCityVP
+	if aBoth != bBoth {
+		return aBoth
+	}
+	if a.SameASVP != b.SameASVP {
+		return a.SameASVP
+	}
+	if a.SameCityVP != b.SameCityVP {
+		return a.SameCityVP
+	}
+	at, aok := techniqueByName[a.Technique]
+	bt, bok := techniqueByName[b.Technique]
+	if aok && bok {
+		aAS, bAS := at == rrr.TechBGPASPath, bt == rrr.TechBGPASPath
+		if aAS != bAS {
+			return aAS
+		}
+		if at.IsBGP() != bt.IsBGP() {
+			if a.VPCount != b.VPCount {
+				return a.VPCount > b.VPCount
+			}
+			return a.Score > b.Score
+		}
+		if at.IsBGP() {
+			if a.VPCount != b.VPCount {
+				return a.VPCount > b.VPCount
+			}
+		} else if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+	}
+	if ak.Src != bk.Src {
+		return ak.Src < bk.Src
+	}
+	return ak.Dst < bk.Dst
 }
 
 // traceJSON is the wire form of a traceroute measurement for

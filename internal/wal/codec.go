@@ -186,6 +186,33 @@ func decodeTrace(b []byte) (*traceroute.Traceroute, error) {
 	return t, nil
 }
 
+// --- exported payload codec ---
+//
+// The feed wire protocol (internal/feedwire) frames the same record
+// payloads over TCP that the WAL frames on disk, so a daemon ingesting
+// over the network and one replaying a log decode byte-identical records
+// through one codec. These wrappers expose exactly the payload layer —
+// kind byte + body — leaving each transport to own its framing.
+
+// EncodeUpdatePayload builds the kind-1 record payload for one BGP update.
+func EncodeUpdatePayload(u bgp.Update) ([]byte, error) { return encodeUpdate(u) }
+
+// EncodeTracePayload builds the kind-2 record payload for one traceroute.
+func EncodeTracePayload(t *traceroute.Traceroute) ([]byte, error) { return encodeTrace(t) }
+
+// DecodeRecordPayload parses one checksum-verified record payload (kind
+// byte + body), enforcing exact consumption.
+func DecodeRecordPayload(p []byte) (Record, error) { return decodePayload(p) }
+
+// AppendRecordFrame frames payload (length + CRC32C header, then the
+// payload) onto dst — the WAL's on-disk frame, reused verbatim by the
+// feed wire protocol.
+func AppendRecordFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// IsRecordKind reports whether b is a record payload kind this codec
+// decodes (feedwire reserves the remaining kind space for control frames).
+func IsRecordKind(b byte) bool { return b == kindUpdate || b == kindTrace }
+
 // segScan summarizes one segment pass.
 type segScan struct {
 	records uint64

@@ -342,6 +342,19 @@ func (m *Monitor) PlanRefresh(budget int, rng *rand.Rand) []Key {
 	return m.engine.RefreshPlan(budget, rng)
 }
 
+// PlanRefreshDetailed is PlanRefresh returning each selection with the
+// attributes it was ranked by, so a cluster router can re-merge worker
+// plans in global priority order. Same nil-rng fallback as PlanRefresh:
+// the two are call-for-call deterministic twins.
+func (m *Monitor) PlanRefreshDetailed(budget int, rng *rand.Rand) []PlanItem {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(planRefreshFallbackSeed))
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.engine.RefreshPlanDetailed(budget, rng)
+}
+
 // RecordRefresh ingests a fresh measurement of a tracked pair: it scores
 // every potential signal for calibration, replaces the corpus entry, and
 // re-registers monitors. It returns the change classification relative to
@@ -392,6 +405,23 @@ func (m *Monitor) PrunedCommunities() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.basePruned + m.engine.Calib.PrunedCommunityCount()
+}
+
+// PrunedCommunityIDs lists the pruned communities' values in ascending
+// order (only communities pruned by this process — a snapshot baseline
+// contributes to PrunedCommunities' count but carries no IDs). A cluster
+// merge de-duplicates on these: every worker sees the full feed, so
+// independent workers reach the same prune decision about the same
+// community.
+func (m *Monitor) PrunedCommunityIDs() []uint32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	comms := m.engine.Calib.PrunedCommunities()
+	out := make([]uint32, len(comms))
+	for i, c := range comms {
+		out[i] = uint32(c)
+	}
+	return out
 }
 
 // RevocationStats reports how many signals §4.3.2 revocation discarded

@@ -47,6 +47,9 @@ type (
 	Config = core.Config
 	// Registration is a potential signal covering part of a traceroute.
 	Registration = core.Registration
+	// PlanItem is one refresh-plan selection with its ranking attributes
+	// (§4.3.1), as returned by Monitor.PlanRefreshDetailed.
+	PlanItem = core.PlanItem
 	// Update is one BGP update from a collector vantage point.
 	Update = bgp.Update
 	// ASN is an autonomous system number.
