@@ -7,9 +7,12 @@ FUZZ_TARGETS := \
 	internal/bgp:FuzzParsePath \
 	internal/bgp:FuzzParseCommunity \
 	internal/wal:FuzzWALReader \
-	internal/feedwire:FuzzFrameReader
+	internal/feedwire:FuzzFrameReader \
+	internal/events:FuzzTruthCodec \
+	internal/anomaly:FuzzZScoreDegenerate \
+	internal/anomaly:FuzzBitmapDetector
 
-.PHONY: build test vet race bench bench-json fuzz crashtest clustertest feedtest verify
+.PHONY: build test vet race bench bench-json fuzz crashtest clustertest feedtest scenariotest verify
 
 build:
 	$(GO) build ./...
@@ -40,10 +43,11 @@ bench:
 # for the worst case (a 1-core runner, where router, K workers, and the
 # load generator all share the core); multi-core hosts clear it by a
 # wide margin.
-BENCH_PR ?= pr8
+BENCH_PR ?= pr9
 bench-json:
-	$(GO) run ./cmd/rrrbench -only enginebench,servebench,clusterbench,feedbench -benchout BENCH_$(BENCH_PR).json
-	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 -min-feed-frac 0.2 BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/rrrbench -only enginebench,servebench,clusterbench,feedbench,scenariobench -benchout BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 -min-feed-frac 0.2 \
+		-min-event-precision 0.85 -min-event-recall 0.9 -max-stale-degradation 0.05 BENCH_$(BENCH_PR).json
 
 # Short fuzz pass over every entry point that consumes untrusted bytes:
 # the BGP parsers (MRT, binary, and text codecs; path and community
@@ -79,6 +83,18 @@ clustertest:
 # and corruption suite.
 feedtest:
 	$(GO) test -race -count=1 ./internal/feedwire -run 'TestWireDifferential|TestFrameReader' -v
+
+# Adversarial-scenario acceptance under the race detector: netsim pack
+# determinism (byte-identical streams and ground-truth labels, with and
+# without fault injection), the classifier edge-case tables (benign anycast
+# MOAS vs hijack MOAS, self-healing leaks, blackholes), the ground-truth
+# accuracy harness, and the event-surface differential (serial vs sharded
+# vs 3-worker cluster byte-identical on /v1/events and SSE routing frames).
+scenariotest:
+	$(GO) test -race -count=1 ./internal/events -v
+	$(GO) test -race -count=1 ./internal/netsim -run TestScenario -v
+	$(GO) test -race -count=1 ./internal/experiments -run 'TestScenario|TestScoreEvents' -v
+	$(GO) test -race -count=1 ./internal/cluster -run TestEventsDifferential -v
 
 # Tier-1 verification plus vet and the race pass. The server tests scrape
 # GET /metrics (format, layer coverage, concurrent-scrape race-cleanliness).

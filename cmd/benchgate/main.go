@@ -47,6 +47,13 @@ type benchRecord struct {
 		WirePerSec   float64 `json:"WirePerSec"`
 		WireFrac     float64 `json:"WireFrac"`
 	} `json:"feed"`
+	Scenario *struct {
+		TruthCount  int     `json:"TruthCount"`
+		EventCount  int     `json:"EventCount"`
+		Precision   float64 `json:"Precision"`
+		Recall      float64 `json:"Recall"`
+		Degradation float64 `json:"Degradation"`
+	} `json:"scenario"`
 }
 
 func main() {
@@ -54,6 +61,9 @@ func main() {
 	minReqPerSec := flag.Float64("min-reqps", 0, "minimum servebench requests/sec (0 disables)")
 	minClusterFrac := flag.Float64("min-cluster-frac", 0, "minimum routed-cluster req/s as a fraction of the single-node baseline, at every worker count (0 disables)")
 	minFeedFrac := flag.Float64("min-feed-frac", 0, "minimum wire feed-ingest throughput as a fraction of the in-process baseline (0 disables)")
+	minEventPrec := flag.Float64("min-event-precision", 0, "minimum routing-event classifier precision against scenario ground truth (0 disables)")
+	minEventRec := flag.Float64("min-event-recall", 0, "minimum routing-event classifier recall against scenario ground truth (0 disables)")
+	maxStaleDeg := flag.Float64("max-stale-degradation", -1, "maximum staleness-verdict accuracy lost under adversarial churn (negative disables)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [-min-speedup X] [-min-reqps Y] BENCH.json")
@@ -147,6 +157,47 @@ func main() {
 		default:
 			fmt.Printf("benchgate: ok wire feed %.0f rec/s = %.3fx in-process (>= %.3fx)\n",
 				rec.Feed.WirePerSec, rec.Feed.WireFrac, *minFeedFrac)
+		}
+	}
+	if *minEventPrec > 0 || *minEventRec > 0 || *maxStaleDeg >= 0 {
+		switch {
+		case rec.Scenario == nil:
+			fmt.Println("benchgate: no scenario record; event-accuracy gates skipped")
+		case rec.Scenario.TruthCount == 0 || rec.Scenario.EventCount == 0:
+			// Precision over zero events (or recall over zero truths) is
+			// vacuously perfect; an empty record must fail, not pass.
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL scenario record is vacuous (%d truths, %d events)\n",
+				rec.Scenario.TruthCount, rec.Scenario.EventCount)
+			failed = true
+		default:
+			if *minEventPrec > 0 {
+				if rec.Scenario.Precision < *minEventPrec {
+					fmt.Fprintf(os.Stderr, "benchgate: FAIL event precision %.3f < %.3f (sha=%s)\n",
+						rec.Scenario.Precision, *minEventPrec, rec.GitSHA)
+					failed = true
+				} else {
+					fmt.Printf("benchgate: ok event precision %.3f (>= %.3f)\n", rec.Scenario.Precision, *minEventPrec)
+				}
+			}
+			if *minEventRec > 0 {
+				if rec.Scenario.Recall < *minEventRec {
+					fmt.Fprintf(os.Stderr, "benchgate: FAIL event recall %.3f < %.3f (sha=%s)\n",
+						rec.Scenario.Recall, *minEventRec, rec.GitSHA)
+					failed = true
+				} else {
+					fmt.Printf("benchgate: ok event recall %.3f (>= %.3f)\n", rec.Scenario.Recall, *minEventRec)
+				}
+			}
+			if *maxStaleDeg >= 0 {
+				if rec.Scenario.Degradation > *maxStaleDeg {
+					fmt.Fprintf(os.Stderr, "benchgate: FAIL staleness accuracy degraded %.3f under adversarial churn, above %.3f (sha=%s)\n",
+						rec.Scenario.Degradation, *maxStaleDeg, rec.GitSHA)
+					failed = true
+				} else {
+					fmt.Printf("benchgate: ok staleness degradation %.3f under adversarial churn (<= %.3f)\n",
+						rec.Scenario.Degradation, *maxStaleDeg)
+				}
+			}
 		}
 	}
 	if failed {

@@ -21,6 +21,7 @@ import (
 	"rrr/internal/cluster"
 	"rrr/internal/experiments"
 	"rrr/internal/feedwire"
+	"rrr/internal/netsim"
 	"rrr/internal/obs"
 	"rrr/internal/server"
 )
@@ -29,12 +30,13 @@ func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	days := flag.Int("days", 0, "override experiment duration in days")
 	seed := flag.Int64("seed", 0, "override simulation seed (0 keeps the scale default)")
-	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench,clusterbench,feedbench)")
+	only := flag.String("only", "", "comma-separated experiment list (fig1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,enginebench,servebench,clusterbench,feedbench,scenariobench)")
 	shards := flag.String("shards", "1,2,4", "shard counts for -only enginebench (comma-separated)")
 	clients := flag.Int("clients", 8, "concurrent clients for -only servebench/clusterbench")
 	requests := flag.Int("requests", 2000, "total batch requests for -only servebench/clusterbench")
 	batch := flag.Int("batch", 64, "keys per batch for -only servebench/clusterbench")
 	clusterWorkers := flag.String("cluster-workers", "1,2,4", "worker counts for -only clusterbench (comma-separated)")
+	scenarioSeed := flag.Int64("scenario-seed", 4242, "episode-schedule seed for -only scenariobench")
 	metrics := flag.Bool("metrics", false, "dump the obs metrics registry (Prometheus text) after the run")
 	benchout := flag.String("benchout", "", "write machine-readable bench results + registry snapshot to this JSON file")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "GOMAXPROCS for the run (0 keeps the runtime default: all cores)")
@@ -184,13 +186,18 @@ func main() {
 		feedResult = r
 		printFeedBench(r)
 	}
+	var scenarioResult *experiments.ScenarioResult
+	if len(want) != 0 && want["scenariobench"] {
+		scenarioResult = experiments.RunScenarioAccuracy(sc, netsim.FullPack(), *scenarioSeed)
+		printScenarioBench(scenarioResult, *scenarioSeed)
+	}
 
 	if *metrics {
 		fmt.Println("\n=== Metrics registry ===")
 		obs.Default.WritePrometheus(os.Stdout)
 	}
 	if *benchout != "" {
-		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult, clusterResult, feedResult); err != nil {
+		if err := writeBenchJSON(*benchout, *scale, sc, engineResults, serveResult, clusterResult, feedResult, scenarioResult); err != nil {
 			fmt.Fprintf(os.Stderr, "benchout: %v\n", err)
 			os.Exit(1)
 		}
@@ -220,8 +227,13 @@ type benchJSON struct {
 	ClusterPartitions int                  `json:"clusterPartitions,omitempty"`
 	// Feed records networked-feed ingest throughput against the
 	// in-process baseline; benchgate floors Feed.WireFrac.
-	Feed    *feedwire.BenchResult `json:"feed,omitempty"`
-	Metrics map[string]float64    `json:"metrics"`
+	Feed *feedwire.BenchResult `json:"feed,omitempty"`
+	// Scenario records adversarial-pack accuracy: routing-event classifier
+	// precision/recall against the pack's ground-truth labels and the
+	// staleness-verdict degradation under adversarial churn; benchgate
+	// floors Precision/Recall and caps Degradation.
+	Scenario *experiments.ScenarioResult `json:"scenario,omitempty"`
+	Metrics  map[string]float64          `json:"metrics"`
 }
 
 func gitSHA() string {
@@ -234,7 +246,8 @@ func gitSHA() string {
 
 func writeBenchJSON(path, scale string, sc experiments.Scale,
 	engine []experiments.EngineBenchResult, serve *server.ServeBenchResult,
-	clusterRes *cluster.BenchResult, feed *feedwire.BenchResult) error {
+	clusterRes *cluster.BenchResult, feed *feedwire.BenchResult,
+	scenario *experiments.ScenarioResult) error {
 	out := benchJSON{
 		Scale:      scale,
 		Days:       sc.Days,
@@ -245,6 +258,7 @@ func writeBenchJSON(path, scale string, sc experiments.Scale,
 		Serve:      serve,
 		Cluster:    clusterRes,
 		Feed:       feed,
+		Scenario:   scenario,
 		Metrics:    obs.Default.Snapshot(),
 	}
 	if clusterRes != nil {
@@ -299,6 +313,21 @@ func printFeedBench(r *feedwire.BenchResult) {
 	fmt.Printf("%-12s %-12s %-14.0f\n", "in-process", r.InProcElapsed.Round(time.Microsecond), r.InProcPerSec)
 	fmt.Printf("%-12s %-12s %-14.0f\n", "wire", r.WireElapsed.Round(time.Microsecond), r.WirePerSec)
 	fmt.Printf("wire fraction of in-process: %.3f\n", r.WireFrac)
+}
+
+func printScenarioBench(r *experiments.ScenarioResult, seed int64) {
+	fmt.Println("\n=== Scenario bench: event classifiers vs pack ground truth ===")
+	fmt.Printf("corpus=%d pairs, seed=%d, truths=%d, events=%d\n",
+		r.CorpusSize, seed, r.TruthCount, r.EventCount)
+	fmt.Printf("%-18s %-7s %-7s %-4s %-4s %-4s %-10s %-8s\n",
+		"class", "truths", "events", "TP", "FP", "FN", "precision", "recall")
+	for _, cs := range r.Classes {
+		fmt.Printf("%-18s %-7d %-7d %-4d %-4d %-4d %-10.3f %-8.3f\n",
+			cs.Class, cs.Truths, cs.Events, cs.TP, cs.FP, cs.FN, cs.Precision, cs.Recall)
+	}
+	fmt.Printf("overall: precision=%.3f recall=%.3f\n", r.Precision, r.Recall)
+	fmt.Printf("staleness verdict accuracy: benign=%.3f adversarial=%.3f degradation=%.3f\n",
+		r.BenignStaleAcc, r.AdversarialStaleAcc, r.Degradation)
 }
 
 func printEngineBench(rs []experiments.EngineBenchResult) {

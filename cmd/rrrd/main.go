@@ -10,13 +10,16 @@
 //	rrrd -wal-dir /tmp/rrr.wal            # crash-consistent: log every record
 //	rrrd -wal-dir /tmp/rrr.wal -wal-fsync record   # strictest durability
 //	rrrd -debug-addr :6060                # pprof + /metrics on a side listener
+//	rrrd -scenario full                   # overlay adversarial episodes on the feeds
 //
 // Try it:
 //
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/v1/keys?stale=1
 //	curl localhost:8080/v1/stale/10.3.0.1-10.9.0.9
-//	curl -N localhost:8080/v1/signals        # SSE stream
+//	curl -N localhost:8080/v1/signals        # SSE stream (incl. event: routing)
+//	curl localhost:8080/v1/events            # classified routing events so far
+//	curl -d '{"classes":["hijack-origin"]}' localhost:8080/v1/events
 //	curl -d '{"budget":20}' localhost:8080/v1/refresh/plan
 //	curl localhost:8080/metrics              # Prometheus text exposition
 //	curl localhost:8080/readyz               # 503 until WAL recovery completes
@@ -44,13 +47,16 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"rrr"
 	"rrr/internal/cluster"
+	"rrr/internal/events"
 	"rrr/internal/experiments"
 	"rrr/internal/feedwire"
+	"rrr/internal/netsim"
 	"rrr/internal/obs"
 	"rrr/internal/server"
 	"rrr/internal/wal"
@@ -92,6 +98,49 @@ type options struct {
 	workerID   int
 	workers    int
 	partitions int
+
+	// Adversarial scenario overlay on the simulated feeds: forged hijack/
+	// leak/blackhole announcements and fabricated traceroute artifacts,
+	// classified live on /v1/events and the SSE routing stream.
+	scenario     string
+	scenarioSeed int64
+}
+
+// parseScenarioPack maps the -scenario flag to a netsim pack: empty or
+// "off" disables, "full" enables everything, and a comma-separated kind
+// list enables exactly those injections.
+func parseScenarioPack(s string) (*netsim.ScenarioPack, error) {
+	switch s {
+	case "", "off":
+		return nil, nil
+	case "full":
+		p := netsim.FullPack()
+		return &p, nil
+	}
+	var p netsim.ScenarioPack
+	for _, kind := range strings.Split(s, ",") {
+		switch strings.TrimSpace(kind) {
+		case "hijack-origin":
+			p.HijackOrigin = true
+		case "hijack-moas":
+			p.HijackMOAS = true
+		case "hijack-subprefix":
+			p.HijackSubprefix = true
+		case "leaks":
+			p.RouteLeaks = true
+		case "blackholes":
+			p.Blackholes = true
+		case "artifacts":
+			p.Artifacts = true
+		case "diurnal":
+			p.Diurnal = true
+		case "anycast":
+			p.Anycast = true
+		default:
+			return nil, fmt.Errorf("unknown -scenario kind %q", kind)
+		}
+	}
+	return &p, nil
 }
 
 func main() {
@@ -119,6 +168,8 @@ func main() {
 	flag.IntVar(&o.workerID, "worker-id", -1, "cluster worker ID in [0, -workers); -1 runs single-node")
 	flag.IntVar(&o.workers, "workers", 0, "cluster worker count (with -worker-id)")
 	flag.IntVar(&o.partitions, "partitions", cluster.DefaultPartitions, "cluster hash-ring partition count (must match the router)")
+	flag.StringVar(&o.scenario, "scenario", "", "adversarial scenario pack over the simulated feeds: off, full, or comma-separated kinds (hijack-origin,hijack-moas,hijack-subprefix,leaks,blackholes,artifacts,diurnal,anycast)")
+	flag.Int64Var(&o.scenarioSeed, "scenario-seed", 0, "episode-schedule seed for -scenario (0 derives from the simulation seed)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -144,6 +195,18 @@ func run(o options) error {
 		sc.SimCfg.Seed = o.seed
 	}
 	sc.Shards = o.shards
+	pack, err := parseScenarioPack(o.scenario)
+	if err != nil {
+		return err
+	}
+	if pack != nil {
+		if o.feedAddr != "" {
+			return errors.New("-scenario overlays the in-process simulator feeds; it cannot combine with -feed-addr (run the pack on the feed server side instead)")
+		}
+		sc.Scenario = pack
+		sc.ScenarioSeed = o.scenarioSeed
+		log.Printf("rrrd: scenario pack enabled (%s)", o.scenario)
+	}
 
 	// Worker mode: agree on the partition placement with the router (and
 	// every sibling worker) purely from flags — no coordination service.
@@ -182,9 +245,13 @@ func run(o options) error {
 	// Prime the RIB view before streaming (table dump first). Priming and
 	// corpus tracking are deterministic from flags, so the WAL does not
 	// log them: recovery re-primes identically and replays only feed
-	// records.
+	// records. The event detector learns its origin/transit baselines from
+	// the same dump and taps the live feed records the engine ingests;
+	// WAL replay rebuilds staleness state only, not past routing events.
+	det := events.NewDetector(events.Config{WindowSec: sc.WindowSec})
 	for _, u := range env.Dump {
 		mon.ObserveBGP(u)
+		det.Prime(u)
 	}
 
 	var w *wal.WAL
@@ -206,7 +273,7 @@ func run(o options) error {
 	}
 
 	health := rrr.NewPipelineHealth()
-	srvCfg := server.Config{SnapshotPath: o.snapshot, RingSize: o.ring, Health: health}
+	srvCfg := server.Config{SnapshotPath: o.snapshot, RingSize: o.ring, Health: health, Events: det}
 	if w != nil {
 		srvCfg.WALStatus = w.Status
 	}
@@ -218,6 +285,7 @@ func run(o options) error {
 		}
 	}
 	srv := server.New(mon, srvCfg)
+	det.SetSink(srv.PublishEvent)
 
 	// Serve early: liveness comes up before recovery so orchestrators see
 	// the process alive, while /readyz answers 503 until the monitor's
@@ -307,6 +375,7 @@ func run(o options) error {
 
 	pipeCfg := rrr.PipelineConfig{
 		Sink: sink,
+		Tap:  det,
 		Retry: rrr.RetryPolicy{
 			MaxRetries:         o.feedRetries,
 			Backoff:            o.feedBackoff,

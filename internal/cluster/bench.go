@@ -52,7 +52,7 @@ func RunBench(sc experiments.Scale, workerCounts []int, clients, requests, batch
 	total := perClient * clients
 
 	// Single-node baseline: full corpus, feed to EOF, direct load.
-	mon, env, err := newWorkerMonitor(sc, nil, 0, nil)
+	mon, _, env, err := newWorkerMonitor(sc, nil, 0, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -10,9 +10,17 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/events"
 	"rrr/internal/experiments"
 	"rrr/internal/server"
 )
+
+// localRingSize is the SSE ring used by in-process workers and routers.
+// Local feeds run at full simulation speed (no wall-clock pacing), so the
+// production default ring would shed frames under burst and break the
+// byte-identity the differential tests assert; a deep ring keeps local
+// streams lossless without touching production defaults.
+const localRingSize = 1 << 14
 
 // LocalOptions configures an in-process cluster over simulated feeds.
 type LocalOptions struct {
@@ -39,6 +47,7 @@ type LocalOptions struct {
 type LocalWorker struct {
 	ID  int
 	Mon *rrr.Monitor
+	Det *events.Detector
 	Srv *server.Server
 	Env *experiments.DaemonEnv
 
@@ -98,8 +107,10 @@ type LocalCluster struct {
 // newWorkerMonitor builds a Monitor over a fresh deterministic DaemonEnv,
 // priming the RIB from the dump and tracking only the pairs `ring` assigns
 // to worker `id` (a nil ring tracks everything — the single-daemon
-// baseline).
-func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int, tune func(cfg *rrr.Config)) (*rrr.Monitor, *experiments.DaemonEnv, error) {
+// baseline). The returned event detector is primed from the same dump;
+// since every worker ingests the full feed, detectors are identical
+// across workers regardless of ring slice.
+func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int, tune func(cfg *rrr.Config)) (*rrr.Monitor, *events.Detector, *experiments.DaemonEnv, error) {
 	env := experiments.NewDaemonEnv(sc, 0)
 	cfg := rrr.DefaultConfig()
 	cfg.WindowSec = sc.WindowSec
@@ -116,10 +127,12 @@ func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int, tune func(cfg *r
 		IXPMembers: env.IXPMembers,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	det := events.NewDetector(events.Config{WindowSec: sc.WindowSec})
 	for _, u := range env.Dump {
 		mon.ObserveBGP(u)
+		det.Prime(u)
 	}
 	for _, tr := range env.Corpus {
 		if ring != nil && ring.Owner(tr.Key()) != id {
@@ -128,7 +141,7 @@ func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int, tune func(cfg *r
 		// AS-loop traces are rejected by design; skip them like the lab.
 		_ = mon.Track(tr)
 	}
-	return mon, env, nil
+	return mon, det, env, nil
 }
 
 // StartLocalDaemon builds the single-node baseline the differential tests
@@ -139,12 +152,13 @@ func StartLocalDaemon(sc experiments.Scale, tune ...func(cfg *rrr.Config)) (*Loc
 	if len(tune) > 0 {
 		tn = tune[0]
 	}
-	mon, env, err := newWorkerMonitor(sc, nil, 0, tn)
+	mon, det, env, err := newWorkerMonitor(sc, nil, 0, tn)
 	if err != nil {
 		return nil, err
 	}
-	srv := server.New(mon, server.Config{})
-	lw := &LocalWorker{ID: 0, Mon: mon, Srv: srv, Env: env, handler: srv.Handler()}
+	srv := server.New(mon, server.Config{Events: det, RingSize: localRingSize})
+	det.SetSink(srv.PublishEvent)
+	lw := &LocalWorker{ID: 0, Mon: mon, Det: det, Srv: srv, Env: env, handler: srv.Handler()}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -162,6 +176,7 @@ func (lw *LocalWorker) RunFeed(ctx context.Context) error {
 		Updates:       lw.Env.Updates,
 		Traces:        lw.Env.Traces,
 		Sink:          lw.Srv.Publish,
+		Tap:           lw.Det,
 		OnWindowClose: lw.Srv.PublishWindowClose,
 	})
 }
@@ -176,19 +191,22 @@ func StartLocal(opts LocalOptions) (*LocalCluster, error) {
 	lc := &LocalCluster{Ring: ring, feedErrs: make(chan error, opts.Workers)}
 	urls := make([]string, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
-		mon, env, err := newWorkerMonitor(opts.Scale, ring, w, opts.Tune)
+		mon, det, env, err := newWorkerMonitor(opts.Scale, ring, w, opts.Tune)
 		if err != nil {
 			lc.Close()
 			return nil, err
 		}
 		srv := server.New(mon, server.Config{
-			Worker: &server.WorkerIdentity{ID: w, Workers: opts.Workers, Partitions: ring.OwnedPartitions(w)},
+			Worker:   &server.WorkerIdentity{ID: w, Workers: opts.Workers, Partitions: ring.OwnedPartitions(w)},
+			Events:   det,
+			RingSize: localRingSize,
 		})
+		det.SetSink(srv.PublishEvent)
 		handler := http.Handler(srv.Handler())
 		if opts.Middleware != nil {
 			handler = opts.Middleware(w, handler)
 		}
-		lw := &LocalWorker{ID: w, Mon: mon, Srv: srv, Env: env, handler: handler}
+		lw := &LocalWorker{ID: w, Mon: mon, Det: det, Srv: srv, Env: env, handler: handler}
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			lc.Close()
@@ -205,6 +223,7 @@ func StartLocal(opts LocalOptions) (*LocalCluster, error) {
 		Partitions:    opts.Partitions,
 		Timeout:       opts.RouterTimeout,
 		StreamBackoff: opts.StreamBackoff,
+		RingSize:      localRingSize,
 	})
 	if err != nil {
 		lc.Close()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"rrr"
+	"rrr/internal/events"
 )
 
 // --- frame hub: fan merged SSE frames out to router subscribers ---
@@ -87,6 +88,15 @@ type sigEvent struct {
 	raw []byte
 }
 
+// routingEvent pairs a worker routing event's parsed form (for ordering
+// and dedup) with its wire bytes, like sigEvent. Every worker ingests the
+// full feed and runs an identical detector, so the merged stream is the
+// per-window union-dedup of identical emissions.
+type routingEvent struct {
+	ev  events.Event
+	raw []byte
+}
+
 // merger multiplexes K workers' SSE streams into one totally-ordered
 // stream. Workers delimit engine windows with `event: window` markers
 // (every worker ingests the full feed, so all close the same windows);
@@ -107,6 +117,7 @@ type merger struct {
 	connected []bool
 	everConn  []bool
 	buf       [][]sigEvent
+	rbuf      [][]routingEvent
 	markQ     [][]int64
 	// missed counts windows flushed while a worker was disconnected —
 	// the size of the gap surfaced when it returns.
@@ -122,6 +133,7 @@ func newMerger(workers int, hub *frameHub) *merger {
 		connected: make([]bool, workers),
 		everConn:  make([]bool, workers),
 		buf:       make([][]sigEvent, workers),
+		rbuf:      make([][]routingEvent, workers),
 		markQ:     make([][]int64, workers),
 		missed:    make([]int, workers),
 		hub:       hub,
@@ -153,8 +165,9 @@ func (m *merger) setConnected(w int, up bool) {
 	} else if wasUp {
 		// The stream died mid-window: whatever it buffered was never
 		// confirmed by a marker and will not be re-sent on reconnect.
-		metClusterStreamLate.Add(uint64(len(m.buf[w])))
+		metClusterStreamLate.Add(uint64(len(m.buf[w]) + len(m.rbuf[w])))
 		m.buf[w] = nil
+		m.rbuf[w] = nil
 		m.markQ[w] = nil
 	}
 	n := int64(0)
@@ -190,6 +203,17 @@ func (m *merger) signal(w int, sig rrr.Signal, raw []byte) {
 		return
 	}
 	m.buf[w] = append(m.buf[w], sigEvent{sig: sig, raw: raw})
+	m.mu.Unlock()
+}
+
+func (m *merger) routing(w int, ev events.Event, raw []byte) {
+	m.mu.Lock()
+	if m.hasFlushed && ev.WindowStart <= m.flushed {
+		metClusterStreamLate.Inc()
+		m.mu.Unlock()
+		return
+	}
+	m.rbuf[w] = append(m.rbuf[w], routingEvent{ev: ev, raw: raw})
 	m.mu.Unlock()
 }
 
@@ -248,6 +272,8 @@ func (m *merger) tryFlushLocked() {
 
 func (m *merger) flushWindowLocked(ws int64) {
 	var sigs []sigEvent
+	var routs []routingEvent
+	seenRout := make(map[string]bool)
 	for w := 0; w < m.workers; w++ {
 		if len(m.markQ[w]) > 0 && m.markQ[w][0] == ws {
 			m.markQ[w] = m.markQ[w][1:]
@@ -261,6 +287,21 @@ func (m *merger) flushWindowLocked(ws int64) {
 			}
 		}
 		m.buf[w] = keep
+		// Routing events: every worker emits the identical stream (full
+		// feed, identical detector), so the window's merged set is the
+		// byte-level union-dedup of worker emissions.
+		rkeep := m.rbuf[w][:0]
+		for _, rev := range m.rbuf[w] {
+			if rev.ev.WindowStart <= ws {
+				if !seenRout[string(rev.raw)] {
+					seenRout[string(rev.raw)] = true
+					routs = append(routs, rev)
+				}
+			} else {
+				rkeep = append(rkeep, rev)
+			}
+		}
+		m.rbuf[w] = rkeep
 		if !m.connected[w] {
 			m.missed[w]++
 		}
@@ -273,6 +314,15 @@ func (m *merger) flushWindowLocked(ws int64) {
 		frame = append(frame, "\n\n"...)
 		m.hub.publish(frame)
 		metClusterStreamSignals.Inc()
+	}
+	sort.SliceStable(routs, func(i, j int) bool { return events.EventLess(routs[i].ev, routs[j].ev) })
+	for _, rev := range routs {
+		frame := make([]byte, 0, len(rev.raw)+25)
+		frame = append(frame, "event: routing\ndata: "...)
+		frame = append(frame, rev.raw...)
+		frame = append(frame, "\n\n"...)
+		m.hub.publish(frame)
+		metClusterStreamRouting.Inc()
 	}
 	m.hub.publish([]byte(fmt.Sprintf("event: window\ndata: {\"windowStart\":%d}\n\n", ws)))
 	metClusterStreamWindows.Inc()

@@ -12,6 +12,7 @@ var (
 	metRouterPartial    = obs.Default.Counter("rrr_router_partial_responses_total")
 
 	metClusterStreamSignals    = obs.Default.Counter("rrr_cluster_stream_signals_total")
+	metClusterStreamRouting    = obs.Default.Counter("rrr_cluster_stream_routing_total")
 	metClusterStreamWindows    = obs.Default.Counter("rrr_cluster_stream_windows_total")
 	metClusterStreamGaps       = obs.Default.Counter("rrr_cluster_stream_gaps_total")
 	metClusterStreamLate       = obs.Default.Counter("rrr_cluster_stream_late_dropped_total")
@@ -26,6 +27,7 @@ func init() {
 	obs.Default.Help("rrr_router_worker_errors_total", "worker sub-requests that failed after retry")
 	obs.Default.Help("rrr_router_partial_responses_total", "responses served with unavailablePartitions set")
 	obs.Default.Help("rrr_cluster_stream_signals_total", "signals merged into the router's SSE stream")
+	obs.Default.Help("rrr_cluster_stream_routing_total", "routing events merged into the router's SSE stream")
 	obs.Default.Help("rrr_cluster_stream_windows_total", "window barriers flushed by the stream merger")
 	obs.Default.Help("rrr_cluster_stream_gaps_total", "stream discontinuities surfaced after worker reconnects")
 	obs.Default.Help("rrr_cluster_stream_late_dropped_total", "late signals for already-flushed windows, dropped")

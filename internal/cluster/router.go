@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/events"
 	"rrr/internal/obs"
 	"rrr/internal/server"
 )
@@ -83,6 +84,8 @@ func NewRouter(opts Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
 	rt.mux.HandleFunc("GET /v1/signals", rt.handleSignals)
+	rt.mux.HandleFunc("GET /v1/events", rt.handleEventsGet)
+	rt.mux.HandleFunc("POST /v1/events", rt.handleEventsQuery)
 	rt.mux.HandleFunc("POST /v1/refresh/plan", rt.handleRefreshPlan)
 	rt.mux.HandleFunc("POST /v1/refresh/record", rt.handleRefreshRecord)
 	rt.mux.HandleFunc("POST /v1/snapshot", rt.handleSnapshot)
@@ -371,6 +374,144 @@ func (rt *Router) fanoutAll(ctx context.Context, path string) ([][]byte, []int) 
 		}
 	}
 	return bodies, down
+}
+
+// fanoutAllBody issues the same request (with an optional body) to every
+// worker concurrently, like fanoutAll but for POSTs.
+func (rt *Router) fanoutAllBody(ctx context.Context, method, path string, body []byte) ([][]byte, []int) {
+	K := rt.ring.Workers()
+	bodies := make([][]byte, K)
+	failed := make([]bool, K)
+	var wg sync.WaitGroup
+	for worker := 0; worker < K; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wr, err := rt.do(ctx, method, worker, path, body)
+			if err != nil || wr.status != http.StatusOK {
+				failed[worker] = true
+				return
+			}
+			bodies[worker] = wr.body
+		}(worker)
+	}
+	wg.Wait()
+	var down []int
+	for worker, f := range failed {
+		if f {
+			down = append(down, worker)
+		}
+	}
+	return bodies, down
+}
+
+// parsedEvent pairs one worker routing event's ordering form with its wire
+// bytes, for union-dedup merging.
+type parsedEvent struct {
+	ev  events.Event
+	raw json.RawMessage
+}
+
+// mergeEventBodies union-dedups the workers' /v1/events responses: every
+// worker ingests the full feed and runs an identical detector, so merged
+// output is a single worker's list — verified byte for byte by keying the
+// dedup on the raw wire form and re-emitting those exact bytes.
+func mergeEventBodies(bodies [][]byte) ([]json.RawMessage, error) {
+	seen := make(map[string]bool)
+	var merged []parsedEvent
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		var sub struct {
+			Events []json.RawMessage `json:"events"`
+		}
+		if err := json.Unmarshal(body, &sub); err != nil {
+			return nil, fmt.Errorf("worker %d events: %v", i, err)
+		}
+		for _, raw := range sub.Events {
+			if seen[string(raw)] {
+				continue
+			}
+			seen[string(raw)] = true
+			ev, err := server.ParseEvent(raw)
+			if err != nil {
+				return nil, fmt.Errorf("worker %d events: %v", i, err)
+			}
+			merged = append(merged, parsedEvent{ev: ev, raw: raw})
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return events.EventLess(merged[i].ev, merged[j].ev) })
+	out := make([]json.RawMessage, len(merged))
+	for i, pe := range merged {
+		out[i] = pe.raw
+	}
+	return out, nil
+}
+
+// writeEventsMerged splices pre-rendered worker event bodies into the
+// exact response shape a single worker serves ({"count":N,"events":[...]}).
+func writeEventsMerged(w http.ResponseWriter, merged []json.RawMessage) {
+	size := 0
+	for _, raw := range merged {
+		size += len(raw) + 1
+	}
+	var buf bytes.Buffer
+	buf.Grow(size + 48)
+	buf.WriteString(`{"count":`)
+	buf.WriteString(strconv.Itoa(len(merged)))
+	buf.WriteString(`,"events":[`)
+	for i, raw := range merged {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(raw)
+	}
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func (rt *Router) handleEventsGet(w http.ResponseWriter, r *http.Request) {
+	bodies, down := rt.fanoutAll(r.Context(), "/v1/events")
+	if len(down) > 0 {
+		metRouterPartial.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":                 fmt.Sprintf("%d of %d workers unavailable", len(down), rt.ring.Workers()),
+			"unavailablePartitions": rt.unavailablePartitions(down),
+		})
+		return
+	}
+	merged, err := mergeEventBodies(bodies)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeEventsMerged(w, merged)
+}
+
+func (rt *Router) handleEventsQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	bodies, down := rt.fanoutAllBody(r.Context(), http.MethodPost, "/v1/events", body)
+	if len(down) > 0 {
+		metRouterPartial.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":                 fmt.Sprintf("%d of %d workers unavailable", len(down), rt.ring.Workers()),
+			"unavailablePartitions": rt.unavailablePartitions(down),
+		})
+		return
+	}
+	merged, err := mergeEventBodies(bodies)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeEventsMerged(w, merged)
 }
 
 func (rt *Router) handleKeys(w http.ResponseWriter, r *http.Request) {

@@ -114,6 +114,13 @@ func (c *sseClient) dispatch(event, data string) {
 			return // malformed frame; ordering fields unrecoverable
 		}
 		c.m.signal(c.worker, sig, raw)
+	case "routing":
+		raw := []byte(data)
+		ev, err := server.ParseEvent(raw)
+		if err != nil {
+			return // malformed frame; ordering fields unrecoverable
+		}
+		c.m.routing(c.worker, ev, raw)
 	case "window":
 		var mk struct {
 			WindowStart int64 `json:"windowStart"`
@@ -138,4 +145,6 @@ func (c *sseClient) dispatch(event, data string) {
 
 type httpStatusError struct{ status int }
 
-func (e *httpStatusError) Error() string { return "unexpected stream status " + http.StatusText(e.status) }
+func (e *httpStatusError) Error() string {
+	return "unexpected stream status " + http.StatusText(e.status)
+}

@@ -1,0 +1,194 @@
+package events
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rrr/internal/bgp"
+)
+
+// Ground-truth label codec: a compact binary form for shipping scenario
+// labels alongside generated streams (and for proving label determinism —
+// two runs of the same seeded pack must encode byte-identically). The
+// format is length-prefixed and versioned; DecodeTruths treats its input
+// as untrusted bytes and is covered by FuzzTruthCodec.
+//
+//	"RRGT" | version(1) | count(uvarint) | record*
+//	record: class(1) | start(varint) | end(varint) | prefixAddr(4BE) |
+//	        prefixLen(1) | as(4BE) | keySrc(4BE) | keyDst(4BE) |
+//	        benign(1) | detailLen(uvarint) | detail
+const (
+	truthMagic   = "RRGT"
+	truthVersion = 1
+
+	// maxTruthDetail bounds one label's detail string so a corrupt length
+	// prefix cannot balloon a decode allocation.
+	maxTruthDetail = 1 << 12
+	// maxTruthCount bounds the declared record count before any record is
+	// read, for the same reason.
+	maxTruthCount = 1 << 22
+)
+
+// EncodeTruths serializes labels in order. Same labels, same bytes.
+func EncodeTruths(truths []Truth) []byte {
+	out := make([]byte, 0, 16+len(truths)*24)
+	out = append(out, truthMagic...)
+	out = append(out, truthVersion)
+	out = binary.AppendUvarint(out, uint64(len(truths)))
+	for _, t := range truths {
+		out = append(out, byte(t.Class))
+		out = binary.AppendVarint(out, t.Start)
+		out = binary.AppendVarint(out, t.End)
+		out = binary.BigEndian.AppendUint32(out, t.Prefix.Addr)
+		out = append(out, t.Prefix.Len)
+		out = binary.BigEndian.AppendUint32(out, uint32(t.AS))
+		out = binary.BigEndian.AppendUint32(out, t.Key.Src)
+		out = binary.BigEndian.AppendUint32(out, t.Key.Dst)
+		if t.Benign {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.AppendUvarint(out, uint64(len(t.Detail)))
+		out = append(out, t.Detail...)
+	}
+	return out
+}
+
+// truthReader is a bounds-checked cursor over untrusted bytes.
+type truthReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *truthReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) || r.pos+n < r.pos {
+		return nil, fmt.Errorf("events: truncated label record at offset %d", r.pos)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *truthReader) byte1() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *truthReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *truthReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("events: bad uvarint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *truthReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("events: bad varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// DecodeTruths parses an EncodeTruths blob, rejecting malformed input with
+// an error (never a panic).
+func DecodeTruths(data []byte) ([]Truth, error) {
+	r := &truthReader{data: data}
+	magic, err := r.bytes(len(truthMagic))
+	if err != nil || string(magic) != truthMagic {
+		return nil, fmt.Errorf("events: bad label magic")
+	}
+	ver, err := r.byte1()
+	if err != nil {
+		return nil, err
+	}
+	if ver != truthVersion {
+		return nil, fmt.Errorf("events: unsupported label version %d", ver)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxTruthCount {
+		return nil, fmt.Errorf("events: label count %d exceeds limit", count)
+	}
+	out := make([]Truth, 0, min(int(count), 1024))
+	for i := uint64(0); i < count; i++ {
+		var t Truth
+		cls, err := r.byte1()
+		if err != nil {
+			return nil, err
+		}
+		if Class(cls) >= numClasses {
+			return nil, fmt.Errorf("events: unknown class byte %d in record %d", cls, i)
+		}
+		t.Class = Class(cls)
+		if t.Start, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if t.End, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if t.Prefix.Addr, err = r.u32(); err != nil {
+			return nil, err
+		}
+		plen, err := r.byte1()
+		if err != nil {
+			return nil, err
+		}
+		if plen > 32 {
+			return nil, fmt.Errorf("events: prefix length %d out of range in record %d", plen, i)
+		}
+		t.Prefix.Len = plen
+		as, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		t.AS = bgp.ASN(as)
+		if t.Key.Src, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if t.Key.Dst, err = r.u32(); err != nil {
+			return nil, err
+		}
+		benign, err := r.byte1()
+		if err != nil {
+			return nil, err
+		}
+		if benign > 1 {
+			return nil, fmt.Errorf("events: bad benign byte %d in record %d", benign, i)
+		}
+		t.Benign = benign == 1
+		dlen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if dlen > maxTruthDetail {
+			return nil, fmt.Errorf("events: detail length %d exceeds limit in record %d", dlen, i)
+		}
+		detail, err := r.bytes(int(dlen))
+		if err != nil {
+			return nil, err
+		}
+		t.Detail = string(detail)
+		out = append(out, t)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("events: %d trailing bytes after %d records", len(data)-r.pos, count)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package events
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rrr/internal/traceroute"
+	"rrr/internal/trie"
+)
+
+// scenarioTruthSeeds mirrors the label sets a FullPack scenario emits, so
+// the fuzzer starts from realistic encodings rather than random bytes.
+func scenarioTruthSeeds() [][]byte {
+	packs := [][]Truth{
+		{
+			{Class: HijackOrigin, Start: 86700, End: 88500, Prefix: trie.MakePrefix(0x10130000, 16), AS: 64512},
+			{Class: HijackMOAS, Start: 115500, End: 117300, Prefix: trie.MakePrefix(0x10220000, 16), AS: 64513},
+			{Class: HijackSubprefix, Start: 144300, End: 146100, Prefix: trie.MakePrefix(0x10310000, 18), AS: 64514},
+		},
+		{
+			{Class: RouteLeak, Start: 97500, End: 98850, Prefix: trie.MakePrefix(0x10440000, 16), AS: 64515},
+			{Class: RouteLeak, Start: 126300, End: 126525, Prefix: trie.MakePrefix(0x10450000, 16), AS: 64516, Benign: true, Detail: "self-healed within one window"},
+			{Class: Blackhole, Start: 155100, End: 156000, Prefix: trie.MakePrefix(0x10460000, 16), AS: 64517},
+		},
+		{
+			{Class: TraceLoop, Start: 104400, End: 105300, Key: traceroute.Key{Src: 0x1013c028, Dst: 0x1025c050}},
+			{Class: TraceCycle, Start: 133200, End: 134100, Key: traceroute.Key{Src: 0x101ac029, Dst: 0x1027c051}},
+			{Class: TraceDiamond, Start: 162000, End: 162900, Key: traceroute.Key{Src: 0x1016c02a, Dst: 0x1021c052}},
+			{Class: Diurnal, Start: 216300, End: 345600, Prefix: trie.MakePrefix(0x10340000, 16)},
+			{Class: HijackMOAS, Start: 0, End: 345600, Prefix: trie.MakePrefix(0x10120000, 16), AS: 64518, Benign: true, Detail: "stable anycast baseline"},
+		},
+		nil,
+	}
+	var out [][]byte
+	for _, truths := range packs {
+		out = append(out, EncodeTruths(truths))
+	}
+	return out
+}
+
+// FuzzTruthCodec asserts DecodeTruths never panics on arbitrary bytes and
+// that whatever it accepts re-encodes and re-decodes to the same labels.
+func FuzzTruthCodec(f *testing.F) {
+	for _, seed := range scenarioTruthSeeds() {
+		f.Add(seed)
+	}
+	// Historic trouble spots: truncated header, absurd count varints,
+	// trailing garbage, wrong magic/version.
+	f.Add([]byte("RRGT"))
+	f.Add([]byte("RRGT\x01"))
+	f.Add([]byte{'R', 'R', 'G', 'T', 1, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(append(EncodeTruths([]Truth{{Class: Blackhole, Start: 1, End: 2}}), 0x00))
+	f.Add([]byte("XXGT\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		truths, err := DecodeTruths(data)
+		if err != nil {
+			return
+		}
+		if math.MaxInt32 < len(truths) {
+			t.Fatalf("implausible decode length %d", len(truths))
+		}
+		re := EncodeTruths(truths)
+		back, err := DecodeTruths(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded labels failed: %v", err)
+		}
+		if len(truths) != len(back) || (len(truths) > 0 && !reflect.DeepEqual(truths, back)) {
+			t.Fatalf("codec not idempotent:\n first %+v\nsecond %+v", truths, back)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package events
+
+import "rrr/internal/obs"
+
+// Event-detection metric handles, resolved once at package init following
+// the serving-layer idiom: per-class emission counters plus tap-side
+// ingestion counters, all under the rrr_events_* families on GET /metrics.
+var (
+	metEventsPrimed  = obs.Default.Counter("rrr_events_primed_total")
+	metEventsUpdates = obs.Default.Counter("rrr_events_updates_total")
+	metEventsTraces  = obs.Default.Counter("rrr_events_traces_total")
+	metEventsWindows = obs.Default.Counter("rrr_events_windows_total")
+
+	metEmittedByClass = func() [numClasses]*obs.Counter {
+		var out [numClasses]*obs.Counter
+		for c := Class(0); c < numClasses; c++ {
+			out[c] = obs.Default.Counter("rrr_events_emitted_total", "class", c.String())
+		}
+		return out
+	}()
+)
+
+// metEventsEmitted resolves the per-class emission counter; out-of-range
+// classes fall back to class 0 rather than panicking on a hot path.
+func metEventsEmitted(c Class) *obs.Counter {
+	if c >= numClasses {
+		c = 0
+	}
+	return metEmittedByClass[c]
+}
+
+func init() {
+	obs.Default.Help("rrr_events_primed_total", "table-dump updates used to learn the event baseline")
+	obs.Default.Help("rrr_events_updates_total", "streamed BGP updates tapped by the event detector")
+	obs.Default.Help("rrr_events_traces_total", "streamed traceroutes tapped by the event detector")
+	obs.Default.Help("rrr_events_windows_total", "windows classified by the event detector")
+	obs.Default.Help("rrr_events_emitted_total", "routing events emitted, by class")
+}

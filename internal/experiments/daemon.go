@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,7 +44,16 @@ type DaemonEnv struct {
 	// Updates and Traces are the live feeds for rrr.Pipeline.
 	Updates *SimUpdateFeed
 	Traces  *SimTraceFeed
+
+	// Scen is the adversarial scenario driving the feeds when
+	// Scale.Scenario is enabled; nil otherwise. Its Truths() are the
+	// ground-truth labels for everything the scenario injected.
+	Scen *netsim.Scenario
 }
+
+// scenarioProbeBase offsets fabricated artifact-trace probe IDs well past
+// any platform probe ID so injected traces never collide with real probes.
+const scenarioProbeBase = 1 << 20
 
 // simGeolocator builds the IPMap-like geolocation database over the
 // simulator's router addresses (80%+ city-level accuracy profile) shared
@@ -88,6 +98,19 @@ func NewDaemonEnv(sc Scale, pace time.Duration) *DaemonEnv {
 	// updates flow into the feed queue, not the dump.
 	env.Dump = sim.InitialUpdates(0)
 
+	// Adversarial overlay: schedule the episode pack and teach the dump
+	// any legitimate multi-origin baseline (anycast) before priming.
+	var scen *netsim.Scenario
+	if sc.Scenario != nil && sc.Scenario.Enabled() {
+		seed := sc.ScenarioSeed
+		if seed == 0 {
+			seed = sc.SimCfg.Seed + 77
+		}
+		scen = netsim.NewScenario(sim, *sc.Scenario, seed, int64(sc.Days)*86400, sc.WindowSec)
+		env.Dump = scen.AugmentDump(env.Dump)
+		env.Scen = scen
+	}
+
 	// PeeringDB-style membership snapshot with gaps.
 	snap := sim.MembershipSnapshot(0.3)
 	env.IXPMembers = make(map[int][]bgp.ASN, len(snap))
@@ -111,6 +134,7 @@ func NewDaemonEnv(sc Scale, pace time.Duration) *DaemonEnv {
 
 	f := &daemonFeed{
 		sim:             sim,
+		scen:            scen,
 		public:          public,
 		rng:             rand.New(rand.NewSource(sc.SimCfg.Seed + 21)),
 		windowSec:       sc.WindowSec,
@@ -131,6 +155,7 @@ func NewDaemonEnv(sc Scale, pace time.Duration) *DaemonEnv {
 type daemonFeed struct {
 	mu              sync.Mutex
 	sim             *netsim.Sim
+	scen            *netsim.Scenario
 	public          []*platform.Probe
 	rng             *rand.Rand
 	windowSec       int64
@@ -157,7 +182,17 @@ func (f *daemonFeed) step() {
 		time.Sleep(f.pace)
 	}
 	ws := f.next
+	segStart := len(f.updates)
 	f.sim.Step(f.windowSec)
+	if f.scen != nil {
+		// Scenario emissions publish through the same hook but grouped
+		// after the step's benign updates; restore time order over the
+		// window's combined segment (stable, so equal-time benign updates
+		// stay ahead of forged ones — deterministic either way).
+		f.scen.Advance(ws, ws+f.windowSec)
+		seg := f.updates[segStart:]
+		sort.SliceStable(seg, func(i, j int) bool { return seg[i].Time < seg[j].Time })
+	}
 	if f.publicPerWindow > 0 && len(f.public) > 0 {
 		asns := f.sim.StubASes()
 		when := ws + f.windowSec/2
@@ -170,6 +205,11 @@ func (f *daemonFeed) step() {
 			dst := f.sim.T.HostIP(dstAS, 1+f.rng.Intn(20))
 			f.traces = append(f.traces, f.sim.Traceroute(probe.ID, probe.IP, dst, when))
 		}
+	}
+	if f.scen != nil {
+		// Artifact traces land at ws+windowSec/2+i, at or after every
+		// benign trace of the window, so appending keeps time order.
+		f.traces = append(f.traces, f.scen.WindowTraces(scenarioProbeBase, ws)...)
 	}
 	f.next = ws + f.windowSec
 }

@@ -35,6 +35,13 @@ type Scale struct {
 	PlatCfg platform.Config
 	// Disabled switches off engine techniques (ablation runs).
 	Disabled []core.Technique
+	// Scenario, when set and enabled, overlays adversarial episodes
+	// (hijacks, leaks, blackholes, trace artifacts, diurnal churn) on the
+	// daemon feeds, with ground-truth labels exposed via DaemonEnv.Scen.
+	Scenario *netsim.ScenarioPack
+	// ScenarioSeed seeds the episode schedule independently of the
+	// simulator seed; 0 derives a default from SimCfg.Seed.
+	ScenarioSeed int64
 	// Shards sets engine parallelism. Experiments default to 1 (the exact
 	// serial path) so published numbers stay deterministic regardless of
 	// the host's core count; the engine's signal stream is identical at

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"rrr"
+	"rrr/internal/events"
 )
 
 // DefaultRingSize is the per-subscriber signal buffer used when Config
@@ -33,13 +34,17 @@ func NewHub(ring int) *Hub {
 	return &Hub{subs: make(map[*Subscriber]struct{}), ring: ring}
 }
 
-// Event is one item on a subscriber's stream: either a pipeline signal or
-// a window-close marker (Window true) delimiting the engine's emission
-// windows. Markers let downstream mergers — the cluster router — establish
-// a barrier: once every worker has reported window W closed, every signal
-// of W is in hand and the merged stream can be flushed in total order.
+// Event is one item on a subscriber's stream: a pipeline signal, a
+// routing event from the event detector (Routing set), or a window-close
+// marker (Window true) delimiting the engine's emission windows. Markers
+// let downstream mergers — the cluster router — establish a barrier: once
+// every worker has reported window W closed, every signal and routing
+// event of W is in hand and the merged stream can be flushed in total
+// order (routing events are published between a window's signals and its
+// marker).
 type Event struct {
 	Signal      rrr.Signal
+	Routing     *events.Event
 	WindowStart int64
 	Window      bool
 }
@@ -110,6 +115,14 @@ func (h *Hub) Subscribers() int {
 // use as a Pipeline sink.
 func (h *Hub) Publish(sig rrr.Signal) {
 	h.publish(Event{Signal: sig})
+}
+
+// PublishRouting delivers a routing event to every subscriber. The event
+// detector emits at window close, after the window's signals and before
+// the pipeline's OnWindowClose marker, so per-stream ordering is
+// signals → routing events → window marker.
+func (h *Hub) PublishRouting(ev events.Event) {
+	h.publish(Event{Routing: &ev, WindowStart: ev.WindowStart})
 }
 
 // PublishWindow delivers a window-close marker to every subscriber. The

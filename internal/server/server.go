@@ -15,6 +15,8 @@
 //	GET  /v1/keys?stale=1     tracked (or only flagged) pairs, sorted
 //	GET  /v1/stats            corpus size, window clock, signal/revocation totals
 //	GET  /v1/signals          Server-Sent-Events stream of live signals
+//	GET  /v1/events           routing events (hijacks, leaks, blackholes, artifacts)
+//	POST /v1/events           routing events filtered by class/window range
 //	POST /v1/refresh/plan     {"budget": n} -> §4.3.1 refresh plan
 //	POST /v1/refresh/record   fresh measurement -> change class + recalibration
 //	POST /v1/snapshot         write the restart snapshot to the configured path
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"rrr"
+	"rrr/internal/events"
 	"rrr/internal/obs"
 	"rrr/internal/wal"
 )
@@ -63,6 +66,11 @@ type Config struct {
 	// instead of anonymous sums. Single-node daemons leave it nil and
 	// their stats are byte-identical to pre-cluster builds.
 	Worker *WorkerIdentity
+	// Events, when set, serves the routing-event detector's emissions on
+	// GET/POST /v1/events. The detector is fed by the same pipeline that
+	// feeds the Monitor (PipelineConfig.Tap) and is internally locked, so
+	// handlers read it while ingestion writes.
+	Events *events.Detector
 }
 
 // WorkerIdentity names one cluster worker and its share of the hash ring.
@@ -104,6 +112,8 @@ func New(mon *rrr.Monitor, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/signals", s.handleSignals)
+	s.mux.HandleFunc("GET /v1/events", s.handleEventsGet)
+	s.mux.HandleFunc("POST /v1/events", s.handleEventsQuery)
 	s.mux.HandleFunc("POST /v1/refresh/plan", s.handleRefreshPlan)
 	s.mux.HandleFunc("POST /v1/refresh/record", s.handleRefreshRecord)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
@@ -516,6 +526,15 @@ func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
 			}
 			if ev.Window {
 				fmt.Fprintf(w, "event: window\ndata: {\"windowStart\":%d}\n\n", ev.WindowStart)
+				fl.Flush()
+				continue
+			}
+			if ev.Routing != nil {
+				data, err := json.Marshal(ToEventJSON(*ev.Routing))
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: routing\ndata: %s\n\n", data)
 				fl.Flush()
 				continue
 			}

@@ -200,6 +200,27 @@ type PipelineConfig struct {
 	// window markers so downstream consumers can tell "no signals yet"
 	// from "window done, none emitted".
 	OnWindowClose func(windowStart int64)
+
+	// Tap, when set, observes every ingested record and window close on
+	// the merge-loop goroutine, like a second WAL tee. Records are tapped
+	// after the window clock has advanced (so any closes they trigger are
+	// delivered first and the record is attributed to the window it
+	// belongs to) and before the monitor ingests them; window closes are
+	// tapped after the window's signals reach Sink and before
+	// OnWindowClose, so a tap that publishes per-window output (the event
+	// detector) emits it between the signals and the stream's window
+	// marker.
+	Tap RecordTap
+}
+
+// RecordTap observes the ingested record stream. All methods are invoked
+// on the pipeline's single merge-loop goroutine, in ingestion order, so
+// implementations see the exact sequence the monitor does — identical
+// across the serial engine, the sharded engine, and every cluster worker.
+type RecordTap interface {
+	TapUpdate(bgp.Update)
+	TapTrace(*Traceroute)
+	TapWindowClose(windowStart int64)
 }
 
 // feedItem carries one decoded record or a terminal reader error.
@@ -762,6 +783,9 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 				walErr = fmt.Errorf("rrr: wal window sync: %w", err)
 			}
 		}
+		if cfg.Tap != nil {
+			cfg.Tap.TapWindowClose(ws)
+		}
 		if cfg.OnWindowClose != nil {
 			cfg.OnWindowClose(ws)
 		}
@@ -863,6 +887,9 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 				}
 			}
 			advanceTo(rec.Time)
+			if cfg.Tap != nil {
+				cfg.Tap.TapUpdate(rec)
+			}
 			m.ObserveBGP(rec)
 			uf.winItems = append(uf.winItems, rec)
 			metPipeUpdates.Inc()
@@ -878,6 +905,9 @@ func RunPipeline(ctx context.Context, m *Monitor, cfg PipelineConfig) error {
 				}
 			}
 			advanceTo(rec.Time)
+			if cfg.Tap != nil {
+				cfg.Tap.TapTrace(rec)
+			}
 			m.ObservePublic(rec)
 			tf.winItems = append(tf.winItems, rec)
 			metPipeTraces.Inc()
