@@ -12,7 +12,7 @@ FUZZ_TARGETS := \
 	internal/anomaly:FuzzZScoreDegenerate \
 	internal/anomaly:FuzzBitmapDetector
 
-.PHONY: build test vet race bench bench-json fuzz crashtest clustertest feedtest scenariotest verify
+.PHONY: build test vet race bench bench-json fuzz crashtest clustertest chaostest feedtest scenariotest verify
 
 build:
 	$(GO) build ./...
@@ -43,10 +43,10 @@ bench:
 # for the worst case (a 1-core runner, where router, K workers, and the
 # load generator all share the core); multi-core hosts clear it by a
 # wide margin.
-BENCH_PR ?= pr9
+BENCH_PR ?= pr10
 bench-json:
 	$(GO) run ./cmd/rrrbench -only enginebench,servebench,clusterbench,feedbench,scenariobench -benchout BENCH_$(BENCH_PR).json
-	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 -min-feed-frac 0.2 \
+	$(GO) run ./cmd/benchgate -min-speedup 1.0 -min-cluster-frac 0.03 -min-degraded-frac 0.02 -min-feed-frac 0.2 \
 		-min-event-precision 0.85 -min-event-recall 0.9 -max-stale-degradation 0.05 BENCH_$(BENCH_PR).json
 
 # Short fuzz pass over every entry point that consumes untrusted bytes:
@@ -73,8 +73,16 @@ crashtest:
 # router degradation paths (worker down mid-batch, wedged worker, SSE
 # reconnect), and the kill-one-worker WAL recovery torture.
 clustertest:
-	$(GO) test -race -count=1 ./internal/cluster -run 'TestClusterDifferential|TestRouter|TestRing' -v
+	$(GO) test -race -count=1 ./internal/cluster -run 'TestClusterDifferential|TestRouter|TestRing|TestBreaker' -v
 	$(GO) test -race -count=1 ./internal/wal -run TestClusterCrashTorture -v
+
+# Self-healing acceptance under the race detector: one cluster run absorbs
+# a stream wire kill, a worker crash + restart, and an overload blast under
+# continuous read load that must never fail while every partition keeps a
+# live replica, then proves every surface byte-identical to a never-killed
+# cluster — including after a both-replicas-down outage heals.
+chaostest:
+	$(GO) test -race -count=1 ./internal/cluster -run TestClusterChaos -v
 
 # Networked-feed acceptance under the race detector: the wire
 # differential (a daemon fed over TCP — including forced mid-window

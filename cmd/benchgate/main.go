@@ -39,6 +39,10 @@ type benchRecord struct {
 			Workers   int     `json:"Workers"`
 			ReqPerSec float64 `json:"ReqPerSec"`
 		} `json:"Routed"`
+		Degraded []struct {
+			Workers   int     `json:"Workers"`
+			ReqPerSec float64 `json:"ReqPerSec"`
+		} `json:"Degraded"`
 	} `json:"cluster"`
 	Feed *struct {
 		Updates      int     `json:"Updates"`
@@ -60,6 +64,7 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum 2-shard engine speedup (gated only when gomaxprocs > 1)")
 	minReqPerSec := flag.Float64("min-reqps", 0, "minimum servebench requests/sec (0 disables)")
 	minClusterFrac := flag.Float64("min-cluster-frac", 0, "minimum routed-cluster req/s as a fraction of the single-node baseline, at every worker count (0 disables)")
+	minDegradedFrac := flag.Float64("min-degraded-frac", 0, "minimum degraded-cluster (one worker down, standby failover) req/s as a fraction of the single-node baseline (0 disables)")
 	minFeedFrac := flag.Float64("min-feed-frac", 0, "minimum wire feed-ingest throughput as a fraction of the in-process baseline (0 disables)")
 	minEventPrec := flag.Float64("min-event-precision", 0, "minimum routing-event classifier precision against scenario ground truth (0 disables)")
 	minEventRec := flag.Float64("min-event-recall", 0, "minimum routing-event classifier recall against scenario ground truth (0 disables)")
@@ -140,6 +145,31 @@ func main() {
 			if len(rec.Cluster.Routed) == 0 {
 				fmt.Fprintln(os.Stderr, "benchgate: FAIL cluster record has no routed topologies")
 				failed = true
+			}
+		}
+	}
+	if *minDegradedFrac > 0 {
+		switch {
+		case rec.Cluster == nil:
+			fmt.Println("benchgate: no cluster record; degraded gate skipped")
+		case len(rec.Cluster.Degraded) == 0:
+			// Records predating replication have no degraded rows; the gate
+			// only bites once the bench measures failover.
+			fmt.Println("benchgate: no degraded rows; degraded gate skipped")
+		case rec.Cluster.Single.ReqPerSec <= 0:
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL cluster record has no single-node baseline throughput")
+			failed = true
+		default:
+			for _, topo := range rec.Cluster.Degraded {
+				frac := topo.ReqPerSec / rec.Cluster.Single.ReqPerSec
+				if frac < *minDegradedFrac {
+					fmt.Fprintf(os.Stderr, "benchgate: FAIL degraded K=%d (one worker down) %.0f req/s = %.2fx single-node %.0f, below %.2fx (sha=%s)\n",
+						topo.Workers, topo.ReqPerSec, frac, rec.Cluster.Single.ReqPerSec, *minDegradedFrac, rec.GitSHA)
+					failed = true
+				} else {
+					fmt.Printf("benchgate: ok degraded K=%d (one worker down) %.0f req/s = %.2fx single-node (>= %.2fx)\n",
+						topo.Workers, topo.ReqPerSec, frac, *minDegradedFrac)
+				}
 			}
 		}
 	}

@@ -304,6 +304,11 @@ func printClusterBench(r *cluster.BenchResult) {
 	for _, t := range r.Routed {
 		row(fmt.Sprintf("router K=%d", t.Workers), t)
 	}
+	for _, t := range r.Degraded {
+		// Same router topology with the last worker down: the standby
+		// replicas carry its partitions, so req/s here is failover cost.
+		row(fmt.Sprintf("K=%d -1w", t.Workers), t)
+	}
 }
 
 func printFeedBench(r *feedwire.BenchResult) {

@@ -18,8 +18,15 @@
 //	curl localhost:8080/readyz                # 503 until every partition is ready
 //
 // Degradation: each worker sub-request gets a bounded timeout and one
-// retry; a worker that stays down yields partial responses carrying an
-// explicit unavailablePartitions field rather than silent holes.
+// retry within that same deadline. Each partition has a standby replica
+// (the next distinct worker on the hash ring), so a single dead worker is
+// transparently failed over — responses stay complete and byte-identical.
+// Per-worker circuit breakers (-breaker-threshold consecutive failures
+// open; half-open /readyz probes after -breaker-cooldown) stop the router
+// from burning its deadline on a dead primary. Only when every replica of
+// a partition is down do responses carry an explicit
+// unavailablePartitions field rather than silent holes. The router sheds
+// load beyond -max-inflight with 429 + Retry-After.
 package main
 
 import (
@@ -48,16 +55,19 @@ func main() {
 		ring      = flag.Int("ring", server.DefaultRingSize, "per-SSE-subscriber frame buffer")
 		maxBatch  = flag.Int("max-batch", 10000, "POST /v1/stale key limit")
 		backoff   = flag.Duration("stream-backoff", 100*time.Millisecond, "initial worker-stream reconnect delay")
+		brkThresh = flag.Int("breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive worker failures before the circuit breaker opens")
+		brkCool   = flag.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "open-breaker wait before a half-open /readyz probe")
+		inflight  = flag.Int("max-inflight", cluster.DefaultRouterMaxInFlight, "in-flight data-request bound; excess requests are shed with 429 + Retry-After")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *parts, *timeout, *heartbeat, *ring, *maxBatch, *backoff); err != nil {
+	if err := run(*addr, *workers, *parts, *timeout, *heartbeat, *ring, *maxBatch, *backoff, *brkThresh, *brkCool, *inflight); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, workers string, parts int, timeout, heartbeat time.Duration, ring, maxBatch int, backoff time.Duration) error {
+func run(addr, workers string, parts int, timeout, heartbeat time.Duration, ring, maxBatch int, backoff time.Duration, brkThresh int, brkCool time.Duration, inflight int) error {
 	var urls []string
 	for _, u := range strings.Split(workers, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -69,21 +79,25 @@ func run(addr, workers string, parts int, timeout, heartbeat time.Duration, ring
 	}
 
 	rt, err := cluster.NewRouter(cluster.Options{
-		Workers:       urls,
-		Partitions:    parts,
-		Timeout:       timeout,
-		Heartbeat:     heartbeat,
-		RingSize:      ring,
-		MaxBatch:      maxBatch,
-		StreamBackoff: backoff,
+		Workers:          urls,
+		Partitions:       parts,
+		Timeout:          timeout,
+		Heartbeat:        heartbeat,
+		RingSize:         ring,
+		MaxBatch:         maxBatch,
+		StreamBackoff:    backoff,
+		BreakerThreshold: brkThresh,
+		BreakerCooldown:  brkCool,
+		MaxInFlight:      inflight,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
 	for w, u := range urls {
-		log.Printf("rrrd-router: worker %d at %s owns %d of %d partitions",
-			w, u, rt.Ring().OwnedPartitions(w), rt.Ring().Partitions())
+		log.Printf("rrrd-router: worker %d at %s owns %d of %d partitions (+%d as standby, rf=%d)",
+			w, u, rt.Ring().OwnedPartitions(w), rt.Ring().Partitions(),
+			len(rt.Ring().StandbyPartitions(w)), rt.Ring().ReplicaFactor())
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}

@@ -79,6 +79,7 @@ type options struct {
 	walFsync    string
 	walSegBytes int64
 	ring        int
+	maxInflight int
 	debugAddr   string
 	feedRetries int
 	feedBackoff time.Duration
@@ -157,6 +158,7 @@ func main() {
 	flag.StringVar(&o.walFsync, "wal-fsync", "window", "WAL durability: record, window, or a sync interval like 2s")
 	flag.Int64Var(&o.walSegBytes, "wal-segment-bytes", 8<<20, "WAL segment rotation size")
 	flag.IntVar(&o.ring, "ring", server.DefaultRingSize, "per-SSE-subscriber signal buffer")
+	flag.IntVar(&o.maxInflight, "max-inflight", server.DefaultMaxInFlight, "in-flight data-request bound; excess requests are shed with 503 + Retry-After")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional debug listen address serving /metrics and /debug/pprof/*")
 	flag.IntVar(&o.feedRetries, "feed-retries", 5, "transient feed failures tolerated per window before a feed is declared dead")
 	flag.DurationVar(&o.feedBackoff, "feed-backoff", 500*time.Millisecond, "initial retry backoff after a feed failure (doubles per attempt)")
@@ -220,8 +222,9 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("rrrd: worker %d/%d owns %d of %d partitions",
-			o.workerID, o.workers, ring.OwnedPartitions(o.workerID), ring.Partitions())
+		log.Printf("rrrd: worker %d/%d owns %d of %d partitions (+%d as standby, rf=%d)",
+			o.workerID, o.workers, ring.OwnedPartitions(o.workerID), ring.Partitions(),
+			ring.ReplicaPartitions(o.workerID)-ring.OwnedPartitions(o.workerID), ring.ReplicaFactor())
 	}
 
 	log.Printf("rrrd: building %s-scale environment (seed %d)", o.scale, sc.SimCfg.Seed)
@@ -273,7 +276,7 @@ func run(o options) error {
 	}
 
 	health := rrr.NewPipelineHealth()
-	srvCfg := server.Config{SnapshotPath: o.snapshot, RingSize: o.ring, Health: health, Events: det}
+	srvCfg := server.Config{SnapshotPath: o.snapshot, RingSize: o.ring, MaxInFlight: o.maxInflight, Health: health, Events: det}
 	if w != nil {
 		srvCfg.WALStatus = w.Status
 	}
@@ -282,6 +285,7 @@ func run(o options) error {
 			ID:         o.workerID,
 			Workers:    o.workers,
 			Partitions: ring.OwnedPartitions(o.workerID),
+			RF:         ring.ReplicaFactor(),
 		}
 	}
 	srv := server.New(mon, srvCfg)
@@ -315,7 +319,7 @@ func run(o options) error {
 	} else {
 		tracked, skipped, foreign := 0, 0, 0
 		for _, tr := range env.Corpus {
-			if ring != nil && ring.Owner(tr.Key()) != o.workerID {
+			if ring != nil && !ring.IsReplica(tr.Key(), o.workerID) {
 				foreign++ // another worker's slice; still observed via the shared feed
 				continue
 			}

@@ -27,6 +27,10 @@ type BenchTopology struct {
 
 // BenchResult reports router-merged batch-verdict throughput against the
 // single-node baseline over an identical corpus, feed, and request mix.
+// Degraded repeats the routed load for each K >= 2 with the last worker's
+// HTTP down, so the record captures what failover onto standby replicas
+// costs: every request still succeeds (RF=2 keeps each partition covered),
+// but the surviving workers absorb the dead worker's partitions.
 type BenchResult struct {
 	Partitions int
 	CorpusSize int
@@ -35,6 +39,7 @@ type BenchResult struct {
 	BatchSize  int
 	Single     BenchTopology
 	Routed     []BenchTopology
+	Degraded   []BenchTopology
 }
 
 // RunBench feeds a simulated day into (a) one daemon tracking the whole
@@ -105,11 +110,25 @@ func RunBench(sc experiments.Scale, workerCounts []int, clients, requests, batch
 			return nil, fmt.Errorf("cluster: bench K=%d feeds: %w", k, err)
 		}
 		topo, err := benchLoad(lc.RouterTS, k, keys, clients, perClient, batchSize)
-		lc.Close()
 		if err != nil {
+			lc.Close()
 			return nil, fmt.Errorf("cluster: bench K=%d: %w", k, err)
 		}
 		res.Routed = append(res.Routed, topo)
+		// Degraded phase: kill the last worker's HTTP and re-fire the same
+		// load. With RF=2 the standby replicas keep every partition covered,
+		// so the run measures failover overhead, not partial answers. A
+		// single worker has no standby to fail over to; skip it.
+		if k >= 2 {
+			lc.Workers[k-1].StopHTTP()
+			deg, err := benchLoad(lc.RouterTS, k, keys, clients, perClient, batchSize)
+			if err != nil {
+				lc.Close()
+				return nil, fmt.Errorf("cluster: bench K=%d degraded: %w", k, err)
+			}
+			res.Degraded = append(res.Degraded, deg)
+		}
+		lc.Close()
 	}
 	return res, nil
 }

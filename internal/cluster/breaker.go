@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"rrr/internal/obs"
+)
+
+// Breaker states, exported via the rrr_router_breaker_state gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// Breaker tuning defaults; overridable via Options / rrrd-router flags.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 500 * time.Millisecond
+)
+
+// breaker is a per-worker circuit breaker. Closed passes traffic through;
+// `threshold` consecutive sub-request failures open it, after which the
+// router stops routing to the worker (partitions fail over to their
+// standby). Once `cooldown` has elapsed, the first allow() call moves the
+// breaker to half-open and wins the exclusive right to launch a single
+// /readyz probe; concurrent requests keep failing over until the probe
+// reports back. A successful probe (or any successful sub-request, e.g.
+// from the router's own /readyz fanout) closes the breaker again.
+type breaker struct {
+	worker    int
+	threshold int
+	cooldown  time.Duration
+	gauge     *obs.Gauge
+
+	mu     sync.Mutex
+	state  int
+	fails  int
+	opened time.Time
+}
+
+func newBreaker(worker, threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	b := &breaker{
+		worker:    worker,
+		threshold: threshold,
+		cooldown:  cooldown,
+		gauge:     obs.Default.Gauge("rrr_router_breaker_state", "worker", strconv.Itoa(worker)),
+	}
+	b.gauge.Set(breakerClosed)
+	return b
+}
+
+// allow reports whether regular traffic may be routed to the worker. When
+// an open breaker's cooldown has elapsed, exactly one caller additionally
+// receives probe=true and must launch the half-open /readyz probe.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.opened) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.gauge.Set(breakerHalfOpen)
+			return false, true
+		}
+		return false, false
+	default: // half-open: a probe is in flight, keep traffic on the standby
+		return false, false
+	}
+}
+
+// onSuccess records a successful sub-request: any success closes the
+// breaker and clears the failure streak.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.gauge.Set(breakerClosed)
+	}
+	b.fails = 0
+}
+
+// onFailure records a failed or timed-out sub-request. It reports whether
+// this failure opened a previously-closed breaker.
+func (b *breaker) onFailure(now time.Time) (openedNow bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case breakerClosed:
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.opened = now
+			b.gauge.Set(breakerOpen)
+			return true
+		}
+	case breakerHalfOpen:
+		// A failure while half-open (the probe itself, or a stray
+		// in-flight request) re-opens and restarts the cooldown.
+		b.state = breakerOpen
+		b.opened = now
+		b.gauge.Set(breakerOpen)
+	}
+	return false
+}
+
+// onProbe records the half-open probe's outcome.
+func (b *breaker) onProbe(ok bool, now time.Time) {
+	if ok {
+		b.onSuccess()
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerOpen
+	b.opened = now
+	b.gauge.Set(breakerOpen)
+}
+
+// snapshot returns the state for /v1/cluster reporting.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

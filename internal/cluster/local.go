@@ -38,6 +38,16 @@ type LocalOptions struct {
 	// scale defaults are applied — regression tests pin thresholds (a
 	// community FP quota, say) identically across workers and baseline.
 	Tune func(cfg *rrr.Config)
+	// WorkerURL, when set, rewrites each worker's base URL before the
+	// router sees it — chaos tests interpose a fault-injecting proxy here.
+	WorkerURL func(workerID int, url string) string
+	// RouterMaxInFlight bounds the router's concurrently-served requests
+	// (0 = DefaultRouterMaxInFlight).
+	RouterMaxInFlight int
+	// BreakerThreshold / BreakerCooldown tune the router's per-worker
+	// circuit breakers (0 = package defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // LocalWorker is one in-process rrrd worker: a Monitor tracking its ring
@@ -135,7 +145,10 @@ func newWorkerMonitor(sc experiments.Scale, ring *Ring, id int, tune func(cfg *r
 		det.Prime(u)
 	}
 	for _, tr := range env.Corpus {
-		if ring != nil && ring.Owner(tr.Key()) != id {
+		// Replicated tracking: a worker tracks every pair its partitions
+		// replicate, as primary or standby — the standby's monitor sees the
+		// same full feed, so its verdicts are the primary's, byte for byte.
+		if ring != nil && !ring.IsReplica(tr.Key(), id) {
 			continue
 		}
 		// AS-loop traces are rejected by design; skip them like the lab.
@@ -197,7 +210,12 @@ func StartLocal(opts LocalOptions) (*LocalCluster, error) {
 			return nil, err
 		}
 		srv := server.New(mon, server.Config{
-			Worker:   &server.WorkerIdentity{ID: w, Workers: opts.Workers, Partitions: ring.OwnedPartitions(w)},
+			Worker: &server.WorkerIdentity{
+				ID:         w,
+				Workers:    opts.Workers,
+				Partitions: ring.OwnedPartitions(w),
+				RF:         ring.ReplicaFactor(),
+			},
 			Events:   det,
 			RingSize: localRingSize,
 		})
@@ -217,13 +235,19 @@ func StartLocal(opts LocalOptions) (*LocalCluster, error) {
 		go lw.httpSrv.Serve(lis)
 		lc.Workers = append(lc.Workers, lw)
 		urls[w] = lw.URL()
+		if opts.WorkerURL != nil {
+			urls[w] = opts.WorkerURL(w, urls[w])
+		}
 	}
 	rt, err := NewRouter(Options{
-		Workers:       urls,
-		Partitions:    opts.Partitions,
-		Timeout:       opts.RouterTimeout,
-		StreamBackoff: opts.StreamBackoff,
-		RingSize:      localRingSize,
+		Workers:          urls,
+		Partitions:       opts.Partitions,
+		Timeout:          opts.RouterTimeout,
+		StreamBackoff:    opts.StreamBackoff,
+		RingSize:         localRingSize,
+		MaxInFlight:      opts.RouterMaxInFlight,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
 	})
 	if err != nil {
 		lc.Close()

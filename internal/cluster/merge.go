@@ -11,8 +11,15 @@ import (
 // Counter semantics:
 //
 //   - corpusSize, staleKeys, signals{}, totalSignals, revokedSignals,
-//     revokedPairEvents: sums — partitions are disjoint, so worker
-//     tallies add.
+//     revokedPairEvents: sums, divided by the reported replication factor.
+//     Partitions are disjoint, but under RF=2 every pair is tracked by two
+//     workers whose per-pair tallies are byte-identical by construction,
+//     so the sum counts each pair exactly RF times when all workers
+//     respond. Workers report their RF in stats (WorkerIdentity.RF);
+//     unreplicated workers omit it and divide by 1, keeping pre-replication
+//     merges byte-identical. With a responder missing, the division is
+//     approximate (its partitions were counted once, not RF times) — the
+//     router flags that with degradedWorkers.
 //   - prunedCommunities: NOT a sum. Every worker ingests the full feed,
 //     so independent workers reach the same prune decision about the
 //     same community; summing counted each decision K times. The merge
@@ -42,6 +49,12 @@ func mergeStats(parts []server.Stats, subscribers int) (server.Stats, error) {
 	}
 	prunedIDs := make(map[uint32]bool)
 	prunedBase := 0
+	rf := 1
+	for _, p := range parts {
+		if p.Worker != nil && p.Worker.RF > rf {
+			rf = p.Worker.RF
+		}
+	}
 	for i, p := range parts {
 		if p.WindowSec != out.WindowSec {
 			return server.Stats{}, fmt.Errorf("cluster: worker %d windowSec %d != worker 0 windowSec %d",
@@ -73,6 +86,16 @@ func mergeStats(parts []server.Stats, subscribers int) (server.Stats, error) {
 			out.Feeds = append(out.Feeds, f)
 		}
 	}
+	if rf > 1 {
+		out.CorpusSize /= rf
+		out.StaleKeys /= rf
+		for tech := range out.Signals {
+			out.Signals[tech] /= rf
+		}
+		out.TotalSignals /= rf
+		out.RevokedSignals /= rf
+		out.RevokedPairEvents /= rf
+	}
 	// De-duplicated prune count; the merged response keeps the
 	// single-daemon shape (no ID list — that field is a worker detail).
 	out.PrunedCommunities = prunedBase + len(prunedIDs)
@@ -87,10 +110,12 @@ func keyLess(a, b rrr.Key) bool {
 }
 
 // mergeKeys k-way-merges workers' numerically sorted key lists into one
-// numerically sorted list. Ring ownership makes the lists disjoint, so no
-// dedup pass is needed. The merge compares parsed (src, dst) pairs: the
-// API's dotted-quad string order differs from numeric order, and workers
-// sort numerically.
+// numerically sorted list. Replication puts each pair in up to RF workers'
+// lists, so equal heads are emitted once and every cursor holding the
+// duplicate advances; unreplicated (disjoint) lists pass through
+// unchanged. The merge compares parsed (src, dst) pairs: the API's
+// dotted-quad string order differs from numeric order, and workers sort
+// numerically.
 func mergeKeys(parts [][]string) ([]string, error) {
 	type cursor struct {
 		keys []string
@@ -112,7 +137,7 @@ func mergeKeys(parts [][]string) ([]string, error) {
 		cur = append(cur, cursor{keys: keys, num: num})
 	}
 	out := make([]string, 0, total)
-	for len(out) < total {
+	for {
 		best := -1
 		for c := range cur {
 			if cur[c].i >= len(cur[c].keys) {
@@ -122,8 +147,18 @@ func mergeKeys(parts [][]string) ([]string, error) {
 				best = c
 			}
 		}
+		if best < 0 {
+			break
+		}
+		bk := cur[best].num[cur[best].i]
 		out = append(out, cur[best].keys[cur[best].i])
-		cur[best].i++
+		// Advance every cursor whose head is this key — replicas of the
+		// emitted pair, dropped rather than re-emitted.
+		for c := range cur {
+			for cur[c].i < len(cur[c].keys) && cur[c].num[cur[c].i] == bk {
+				cur[c].i++
+			}
+		}
 	}
 	return out, nil
 }

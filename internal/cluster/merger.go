@@ -106,10 +106,21 @@ type routingEvent struct {
 // also emits each window signalLess-sorted and marker-terminated, the
 // merged stream is byte-identical to a single daemon's.
 //
+// Replication: each partition's signals arrive from every connected
+// replica, so the flush dedups identical signal bytes down to their
+// per-worker multiplicity (a lone daemon can legitimately emit the same
+// bytes twice in a window; two replicas each reporting it once must not).
+// That same redundancy is what makes failover invisible: while at least
+// one replica of every partition stays connected, a window's merged
+// signal set is complete and byte-identical to a single daemon's, so a
+// worker disconnecting and reconnecting leaves no mark on the stream.
+//
 // Degradation: a disconnected worker is excluded from the barrier so the
-// survivors' stream keeps flowing; windows flushed during the outage are
-// missing that worker's signals, and on reconnect the merger surfaces the
-// discontinuity as an `event: gap` frame instead of silently resuming.
+// survivors' stream keeps flowing. Only when some partition has no
+// connected replica at all do flushed windows actually lose signals; the
+// merger counts those lossy windows and surfaces an `event: gap` frame —
+// with the count and window range, so consumers can size a catch-up
+// fetch — once coverage is restored.
 type merger struct {
 	mu        sync.Mutex
 	workers   int
@@ -119,15 +130,23 @@ type merger struct {
 	buf       [][]sigEvent
 	rbuf      [][]routingEvent
 	markQ     [][]int64
-	// missed counts windows flushed while a worker was disconnected —
-	// the size of the gap surfaced when it returns.
-	missed     []int
+	// partReps maps each partition to its replica workers, for coverage.
+	partReps [][]int
+	// Windows flushed while some partition had no connected replica: the
+	// gap surfaced once coverage returns.
+	lossyCount int
+	lossyFirst int64
+	lossyLast  int64
 	flushed    int64
 	hasFlushed bool
 	hub        *frameHub
 }
 
-func newMerger(workers int, hub *frameHub) *merger {
+func newMerger(workers int, hub *frameHub, ring *Ring) *merger {
+	partReps := make([][]int, ring.Partitions())
+	for p := range partReps {
+		partReps[p] = ring.Replicas(p)
+	}
 	return &merger{
 		workers:   workers,
 		connected: make([]bool, workers),
@@ -135,7 +154,7 @@ func newMerger(workers int, hub *frameHub) *merger {
 		buf:       make([][]sigEvent, workers),
 		rbuf:      make([][]routingEvent, workers),
 		markQ:     make([][]int64, workers),
-		missed:    make([]int, workers),
+		partReps:  partReps,
 		hub:       hub,
 	}
 }
@@ -153,12 +172,16 @@ func (m *merger) setConnected(w int, up bool) {
 			}
 			m.started = all
 		}
-		if m.missed[w] > 0 {
-			// The worker is back but the windows flushed during its
-			// outage are gone from the merged stream; say so rather than
-			// splicing silently.
-			frame := fmt.Sprintf("event: gap\ndata: {\"worker\":%d,\"missedWindows\":%d}\n\n", w, m.missed[w])
-			m.missed[w] = 0
+		if m.lossyCount > 0 && m.coveredLocked() {
+			// Coverage is back, but the windows flushed while some
+			// partition had no connected replica are missing signals the
+			// merged stream will never re-send; say so — with the count
+			// and range, so consumers can size their catch-up fetch —
+			// rather than splicing silently.
+			frame := fmt.Sprintf(
+				"event: gap\ndata: {\"missedWindows\":%d,\"firstMissedWindow\":%d,\"lastMissedWindow\":%d}\n\n",
+				m.lossyCount, m.lossyFirst, m.lossyLast)
+			m.lossyCount = 0
 			metClusterStreamGaps.Inc()
 			m.hub.publish([]byte(frame))
 		}
@@ -179,6 +202,32 @@ func (m *merger) setConnected(w int, up bool) {
 	metClusterWorkerConnected.Set(n)
 	m.tryFlushLocked()
 	m.mu.Unlock()
+}
+
+// coveredLocked reports whether every partition has at least one replica
+// whose stream is attached — the condition under which flushed windows
+// carry their complete signal set. Callers hold m.mu.
+func (m *merger) coveredLocked() bool {
+	for _, reps := range m.partReps {
+		live := false
+		for _, w := range reps {
+			if m.connected[w] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return false
+		}
+	}
+	return true
+}
+
+// covered is coveredLocked for external callers (router readiness).
+func (m *merger) covered() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.coveredLocked()
 }
 
 // allConnected reports whether every worker stream is currently attached.
@@ -240,8 +289,18 @@ func (m *merger) workerDropped(w int, n uint64) {
 	m.hub.publish([]byte(frame))
 }
 
-// tryFlushLocked advances the barrier: while every connected worker has a
-// queued marker, flush the minimum head window. Callers hold m.mu.
+// tryFlushLocked advances the barrier. The candidate is the smallest head
+// marker among connected workers; it flushes once every partition that
+// has a connected replica at all has one that confirmed the candidate
+// (head marker equal to it — a later head means the replica's signals for
+// this window were lost to a disconnect, an empty queue that it hasn't
+// closed the window yet). Replicas deliver identical bytes, so flushing
+// on the first confirming replica emits the same window a full barrier
+// would; the laggard's duplicates are dropped as late arrivals. Waiting
+// for every connected worker instead would wedge the stream on a replica
+// that reconnected after its feed ended and will never mark again.
+// Partitions with no connected replica cannot be saved by waiting; they
+// flush lossy and are accounted by the gap frame. Callers hold m.mu.
 func (m *merger) tryFlushLocked() {
 	if !m.started {
 		return
@@ -249,39 +308,67 @@ func (m *merger) tryFlushLocked() {
 	for {
 		ws := int64(0)
 		have := false
-		anyConnected := false
 		for w := 0; w < m.workers; w++ {
-			if !m.connected[w] {
+			if !m.connected[w] || len(m.markQ[w]) == 0 {
 				continue
-			}
-			anyConnected = true
-			if len(m.markQ[w]) == 0 {
-				return // a connected worker hasn't closed the next window yet
 			}
 			if !have || m.markQ[w][0] < ws {
 				ws = m.markQ[w][0]
 				have = true
 			}
 		}
-		if !anyConnected || !have {
+		if !have {
 			return
+		}
+		for _, reps := range m.partReps {
+			anyConnected := false
+			confirmed := false
+			for _, w := range reps {
+				if !m.connected[w] {
+					continue
+				}
+				anyConnected = true
+				if len(m.markQ[w]) > 0 && m.markQ[w][0] == ws {
+					confirmed = true
+					break
+				}
+			}
+			if anyConnected && !confirmed {
+				return // a live replica of this partition hasn't closed ws yet
+			}
 		}
 		m.flushWindowLocked(ws)
 	}
 }
 
 func (m *merger) flushWindowLocked(ws int64) {
-	var sigs []sigEvent
+	// Signals: replicas deliver identical bytes for the same signal, so
+	// the window keeps each distinct byte string at its maximum per-worker
+	// multiplicity — one replica's full view, never the replica-count
+	// multiple, and a reconnect's partial buffer never shadows its
+	// partner's complete one.
+	type sigAgg struct {
+		ev    sigEvent
+		count int
+	}
+	aggs := make(map[string]*sigAgg)
 	var routs []routingEvent
 	seenRout := make(map[string]bool)
 	for w := 0; w < m.workers; w++ {
 		if len(m.markQ[w]) > 0 && m.markQ[w][0] == ws {
 			m.markQ[w] = m.markQ[w][1:]
 		}
+		perWorker := make(map[string]int)
 		keep := m.buf[w][:0]
 		for _, ev := range m.buf[w] {
 			if ev.sig.WindowStart <= ws {
-				sigs = append(sigs, ev)
+				raw := string(ev.raw)
+				perWorker[raw]++
+				if a := aggs[raw]; a == nil {
+					aggs[raw] = &sigAgg{ev: ev, count: perWorker[raw]}
+				} else if perWorker[raw] > a.count {
+					a.count = perWorker[raw]
+				}
 			} else {
 				keep = append(keep, ev)
 			}
@@ -302,11 +389,35 @@ func (m *merger) flushWindowLocked(ws int64) {
 			}
 		}
 		m.rbuf[w] = rkeep
-		if !m.connected[w] {
-			m.missed[w]++
+	}
+	if !m.coveredLocked() {
+		// Some partition had no connected replica while this window
+		// closed: its signals are simply absent. Record the loss for the
+		// gap frame emitted when coverage returns.
+		if m.lossyCount == 0 {
+			m.lossyFirst = ws
+		}
+		m.lossyCount++
+		m.lossyLast = ws
+	}
+	sigs := make([]sigEvent, 0, len(aggs))
+	for _, a := range aggs {
+		for i := 0; i < a.count; i++ {
+			sigs = append(sigs, a.ev)
 		}
 	}
-	sort.Slice(sigs, func(i, j int) bool { return rrr.SignalLess(sigs[i].sig, sigs[j].sig) })
+	sort.Slice(sigs, func(i, j int) bool {
+		if rrr.SignalLess(sigs[i].sig, sigs[j].sig) {
+			return true
+		}
+		if rrr.SignalLess(sigs[j].sig, sigs[i].sig) {
+			return false
+		}
+		// SignalLess ties with distinct bytes (only formatting could
+		// differ) break on the wire form so the map's iteration order
+		// can't leak into the stream.
+		return string(sigs[i].raw) < string(sigs[j].raw)
+	})
 	for _, ev := range sigs {
 		frame := make([]byte, 0, len(ev.raw)+24)
 		frame = append(frame, "event: signal\ndata: "...)

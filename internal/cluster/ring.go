@@ -62,11 +62,22 @@ type vnode struct {
 // Ring is an immutable placement of P partitions onto K workers. Both the
 // router and every worker build the same Ring from (workers, partitions),
 // so ownership is agreed upon without coordination.
+//
+// Replication: with K >= 2 every partition is placed on two distinct
+// workers — the primary (the partition point's successor vnode) and a
+// standby (the next distinct worker clockwise on the vnode circle). Every
+// worker ingests the full feed, so a standby's monitor is a deterministic
+// replica of the primary's over the shared slice and its verdicts are
+// byte-identical by construction; the router fails partitions over to the
+// standby when the primary's circuit breaker opens. A single-worker ring
+// has no distinct standby (RF collapses to 1).
 type Ring struct {
 	workers    int
 	partitions int
-	owner      []int // partition -> worker
-	owned      []int // worker -> owned partition count
+	owner      []int // partition -> primary worker
+	standby    []int // partition -> standby worker (== owner when K == 1)
+	owned      []int // worker -> primary partition count
+	replicas   []int // worker -> primary+standby partition count
 }
 
 // NewRing places `partitions` partitions onto `workers` workers
@@ -99,7 +110,9 @@ func NewRing(workers, partitions int) (*Ring, error) {
 		workers:    workers,
 		partitions: partitions,
 		owner:      make([]int, partitions),
+		standby:    make([]int, partitions),
 		owned:      make([]int, workers),
+		replicas:   make([]int, workers),
 	}
 	for p := 0; p < partitions; p++ {
 		h := fnv64(fmt.Sprintf("partition-%d", p))
@@ -111,6 +124,22 @@ func NewRing(workers, partitions int) (*Ring, error) {
 		w := vnodes[i].worker
 		r.owner[p] = w
 		r.owned[w]++
+		r.replicas[w]++
+		// Standby: keep walking clockwise to the first vnode held by a
+		// different worker. With one worker there is none; the standby
+		// degenerates to the primary and RF to 1.
+		s := w
+		for j := 1; j < len(vnodes); j++ {
+			cand := vnodes[(i+j)%len(vnodes)].worker
+			if cand != w {
+				s = cand
+				break
+			}
+		}
+		r.standby[p] = s
+		if s != w {
+			r.replicas[s]++
+		}
 	}
 	return r, nil
 }
@@ -136,20 +165,65 @@ func (r *Ring) PartitionOf(k rrr.Key) int {
 	return int(fnv64(string(b[:])) % uint64(r.partitions))
 }
 
-// Owner maps a pair to the worker that tracks it.
+// Owner maps a pair to its primary worker.
 func (r *Ring) Owner(k rrr.Key) int { return r.owner[r.PartitionOf(k)] }
 
-// OwnerOfPartition maps a partition to its worker.
+// OwnerOfPartition maps a partition to its primary worker.
 func (r *Ring) OwnerOfPartition(p int) int { return r.owner[p] }
 
-// OwnedPartitions reports how many partitions worker w owns.
+// Standby maps a pair to its standby worker (== Owner when K == 1).
+func (r *Ring) Standby(k rrr.Key) int { return r.standby[r.PartitionOf(k)] }
+
+// StandbyOfPartition maps a partition to its standby worker.
+func (r *Ring) StandbyOfPartition(p int) int { return r.standby[p] }
+
+// Replicas lists the distinct workers tracking partition p, primary first.
+func (r *Ring) Replicas(p int) []int {
+	if r.standby[p] == r.owner[p] {
+		return []int{r.owner[p]}
+	}
+	return []int{r.owner[p], r.standby[p]}
+}
+
+// IsReplica reports whether worker w tracks pair k (as primary or standby).
+func (r *Ring) IsReplica(k rrr.Key, w int) bool {
+	p := r.PartitionOf(k)
+	return r.owner[p] == w || r.standby[p] == w
+}
+
+// ReplicaFactor reports how many distinct workers track each partition:
+// 2 for any multi-worker ring, 1 for a single worker.
+func (r *Ring) ReplicaFactor() int {
+	if r.workers >= 2 {
+		return 2
+	}
+	return 1
+}
+
+// OwnedPartitions reports how many partitions worker w owns as primary.
 func (r *Ring) OwnedPartitions(w int) int { return r.owned[w] }
 
-// WorkerPartitions lists the partitions worker w owns, ascending.
+// ReplicaPartitions reports how many partitions worker w tracks in total
+// (primary plus standby).
+func (r *Ring) ReplicaPartitions(w int) int { return r.replicas[w] }
+
+// WorkerPartitions lists the partitions worker w owns as primary, ascending.
 func (r *Ring) WorkerPartitions(w int) []int {
 	out := make([]int, 0, r.owned[w])
 	for p, o := range r.owner {
 		if o == w {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StandbyPartitions lists the partitions worker w covers as standby,
+// ascending. Empty on a single-worker ring.
+func (r *Ring) StandbyPartitions(w int) []int {
+	var out []int
+	for p, s := range r.standby {
+		if s == w && r.owner[p] != w {
 			out = append(out, p)
 		}
 	}

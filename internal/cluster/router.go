@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrr"
@@ -40,20 +41,35 @@ type Options struct {
 	// StreamBackoff is the initial worker-stream reconnect delay
 	// (0 = 100ms; doubles to a 2s cap).
 	StreamBackoff time.Duration
+	// MaxInFlight bounds concurrently-served router requests (0 = 1024).
+	// Requests past the bound are shed with 429 + Retry-After. Probe,
+	// metrics, and SSE stream endpoints are exempt (server.OverloadExempt).
+	MaxInFlight int
+	// BreakerThreshold is the consecutive sub-request failures that open a
+	// worker's circuit breaker (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects traffic before a
+	// half-open /readyz probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 }
+
+// DefaultRouterMaxInFlight is the Options.MaxInFlight default.
+const DefaultRouterMaxInFlight = 1024
 
 // Router is the cluster's stateless front end: it owns no monitor state,
 // only the ring (to route), an HTTP client (to fan out), and the stream
 // merger (to order). Restarting a router loses nothing but SSE
 // subscriptions.
 type Router struct {
-	ring   *Ring
-	opts   Options
-	mux    *http.ServeMux
-	hub    *frameHub
-	merger *merger
-	cancel context.CancelFunc
-	done   sync.WaitGroup
+	ring     *Ring
+	opts     Options
+	mux      *http.ServeMux
+	hub      *frameHub
+	merger   *merger
+	breakers []*breaker
+	inflight atomic.Int64
+	cancel   context.CancelFunc
+	done     sync.WaitGroup
 }
 
 // NewRouter builds the router and starts its worker stream subscriptions;
@@ -72,11 +88,18 @@ func NewRouter(opts Options) (*Router, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 10000
 	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultRouterMaxInFlight
+	}
 	for i, u := range opts.Workers {
 		opts.Workers[i] = strings.TrimRight(u, "/")
 	}
 	rt := &Router{ring: ring, opts: opts, mux: http.NewServeMux(), hub: newFrameHub(opts.RingSize)}
-	rt.merger = newMerger(len(opts.Workers), rt.hub)
+	rt.merger = newMerger(len(opts.Workers), rt.hub, ring)
+	rt.breakers = make([]*breaker, len(opts.Workers))
+	for i := range rt.breakers {
+		rt.breakers[i] = newBreaker(i, opts.BreakerThreshold, opts.BreakerCooldown)
+	}
 
 	rt.mux.HandleFunc("GET /v1/stale/{key}", rt.handleStaleOne)
 	rt.mux.HandleFunc("POST /v1/stale", rt.handleStaleBatch)
@@ -108,10 +131,26 @@ func NewRouter(opts Options) (*Router, error) {
 	return rt, nil
 }
 
-// Handler returns the router's HTTP handler tree.
+// Handler returns the router's HTTP handler tree, wrapped with bounded
+// in-flight admission: past opts.MaxInFlight the router sheds with
+// 429 + Retry-After instead of stacking goroutines into latency collapse.
 func (rt *Router) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		metRouterRequests.Inc()
+		if server.OverloadExempt(r.URL.Path) {
+			rt.mux.ServeHTTP(w, r)
+			return
+		}
+		n := rt.inflight.Add(1)
+		metRouterInflight.Set(n)
+		defer func() { metRouterInflight.Set(rt.inflight.Add(-1)) }()
+		if n > int64(rt.opts.MaxInFlight) {
+			metRouterShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests,
+				fmt.Sprintf("overloaded: %d requests in flight (limit %d)", n, rt.opts.MaxInFlight))
+			return
+		}
 		rt.mux.ServeHTTP(w, r)
 	})
 }
@@ -139,22 +178,40 @@ type workerResp struct {
 	body   []byte
 }
 
-// do issues one worker sub-request with the per-worker timeout, retrying
-// once on transport failure or 5xx before giving up.
+// describeAttempt renders one attempt's outcome for partial-failure bodies.
+func describeAttempt(wr *workerResp, err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return fmt.Sprintf("status %d", wr.status)
+}
+
+// do issues one worker sub-request, retrying once on transport failure or
+// 5xx. Both attempts share a single deadline budget (opts.Timeout measured
+// from the first attempt's start) so a retry cannot double the effective
+// timeout, and the remaining budget is propagated to the worker via
+// server.DeadlineHeader so it abandons work the router will discard. Every
+// outcome feeds the worker's circuit breaker; the final error carries the
+// first attempt's status context so partial-failure bodies say what
+// actually happened, not just that the retry failed.
 func (rt *Router) do(ctx context.Context, method string, worker int, path string, body []byte) (*workerResp, error) {
+	dctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
+	defer cancel()
+	deadline, _ := dctx.Deadline()
 	attempt := func() (*workerResp, error) {
-		rctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
-		defer cancel()
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(rctx, method, rt.opts.Workers[worker]+path, rd)
+		req, err := http.NewRequestWithContext(dctx, method, rt.opts.Workers[worker]+path, rd)
 		if err != nil {
 			return nil, err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			req.Header.Set(server.DeadlineHeader, strconv.FormatInt(ms, 10))
 		}
 		metRouterFanout.Inc()
 		resp, err := http.DefaultClient.Do(req)
@@ -170,26 +227,94 @@ func (rt *Router) do(ctx context.Context, method string, worker int, path string
 	}
 	wr, err := attempt()
 	if err == nil && wr.status < 500 {
+		rt.breakers[worker].onSuccess()
 		return wr, nil
 	}
-	metRouterRetries.Inc()
-	wr, err = attempt()
-	if err == nil && wr.status < 500 {
-		return wr, nil
+	first := describeAttempt(wr, err)
+	retried := false
+	if dctx.Err() == nil {
+		metRouterRetries.Inc()
+		retried = true
+		wr, err = attempt()
+		if err == nil && wr.status < 500 {
+			rt.breakers[worker].onSuccess()
+			return wr, nil
+		}
 	}
+	rt.workerFailed(worker)
 	metRouterWorkerErrs.Inc()
-	if err != nil {
-		return nil, err
+	last := describeAttempt(wr, err)
+	if retried && last != first {
+		return nil, fmt.Errorf("cluster: worker %d %s %s: %s (first attempt: %s)", worker, method, path, last, first)
 	}
-	return nil, fmt.Errorf("cluster: worker %d %s %s: status %d", worker, method, path, wr.status)
+	return nil, fmt.Errorf("cluster: worker %d %s %s: %s", worker, method, path, last)
 }
 
-// unavailablePartitions lists, ascending, every partition owned by the
-// given down workers.
+// workerFailed feeds a sub-request failure to the worker's breaker.
+func (rt *Router) workerFailed(worker int) {
+	if rt.breakers[worker].onFailure(time.Now()) {
+		metRouterBreakerOpens.Inc()
+	}
+}
+
+// workerUp reports whether the worker's breaker admits regular traffic,
+// launching the exclusive half-open /readyz probe when the cooldown of an
+// open breaker has elapsed.
+func (rt *Router) workerUp(worker int) bool {
+	ok, probe := rt.breakers[worker].allow(time.Now())
+	if probe {
+		go rt.probe(worker)
+	}
+	return ok
+}
+
+// probe is the half-open recovery check: one GET /readyz, bypassing do()
+// so a failed probe doesn't double-count through the breaker.
+func (rt *Router) probe(worker int) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.Timeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.opts.Workers[worker]+"/readyz", nil)
+	if err == nil {
+		if resp, derr := http.DefaultClient.Do(req); derr == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	rt.breakers[worker].onProbe(ok, time.Now())
+}
+
+// replicaOrder lists the workers to try for a key's partition: primary
+// first, demoted behind the standby while its breaker is open.
+func (rt *Router) replicaOrder(p int) []int {
+	reps := rt.ring.Replicas(p)
+	if len(reps) == 2 && !rt.workerUp(reps[0]) && rt.workerUp(reps[1]) {
+		reps[0], reps[1] = reps[1], reps[0]
+	}
+	return reps
+}
+
+// unavailablePartitions lists, ascending, every partition with no live
+// replica among the given down workers — under RF=2 a single down worker
+// blacks out nothing, because every partition it owns has a standby.
 func (rt *Router) unavailablePartitions(down []int) []int {
-	var parts []int
+	isDown := make(map[int]bool, len(down))
 	for _, w := range down {
-		parts = append(parts, rt.ring.WorkerPartitions(w)...)
+		isDown[w] = true
+	}
+	var parts []int
+	for p := 0; p < rt.ring.Partitions(); p++ {
+		alive := false
+		for _, w := range rt.ring.Replicas(p) {
+			if !isDown[w] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			parts = append(parts, p)
+		}
 	}
 	sort.Ints(parts)
 	return parts
@@ -203,19 +328,29 @@ func (rt *Router) handleStaleOne(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	owner := rt.ring.Owner(k)
-	wr, err := rt.do(r.Context(), http.MethodGet, owner, "/v1/stale/"+r.PathValue("key"), nil)
-	if err != nil {
-		metRouterPartial.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":                 fmt.Sprintf("partition owner worker %d unavailable", owner),
-			"unavailablePartitions": rt.unavailablePartitions([]int{owner}),
-		})
+	p := rt.ring.PartitionOf(k)
+	order := rt.replicaOrder(p)
+	var errs []string
+	for i, worker := range order {
+		wr, err := rt.do(r.Context(), http.MethodGet, worker, "/v1/stale/"+r.PathValue("key"), nil)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		if worker != rt.ring.OwnerOfPartition(p) || i > 0 {
+			metRouterFailovers.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(wr.status)
+		w.Write(wr.body)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(wr.status)
-	w.Write(wr.body)
+	metRouterPartial.Inc()
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":                 fmt.Sprintf("all replicas of partition %d unavailable", p),
+		"workerErrors":          errs,
+		"unavailablePartitions": rt.unavailablePartitions(order),
+	})
 }
 
 // subBatchResp is the worker's batch-staleness shape with verdict bodies
@@ -243,78 +378,124 @@ func (rt *Router) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d keys exceeds batch limit %d", len(req.Keys), rt.opts.MaxBatch))
 		return
 	}
-	// Group keys by partition owner, remembering each key's position so
-	// worker verdicts splice back in request order.
-	K := rt.ring.Workers()
-	subKeys := make([][]string, K)
-	subPos := make([][]int, K)
+	// Each key routes to its partition's designated replica: the primary,
+	// unless the primary's breaker is open and the standby's isn't. Keys
+	// whose round-one worker fails are regrouped onto their alternate
+	// replica for a second round; a standby's verdicts are byte-identical
+	// to the primary's (same full feed, same tracked slice), so a failover
+	// is invisible in the response.
+	parts := make([]int, len(req.Keys))
 	for i, ks := range req.Keys {
 		k, err := server.ParseKey(ks)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		owner := rt.ring.Owner(k)
-		subKeys[owner] = append(subKeys[owner], ks)
-		subPos[owner] = append(subPos[owner], i)
+		parts[i] = rt.ring.PartitionOf(k)
 	}
-
 	verdicts := make([]json.RawMessage, len(req.Keys))
-	staleTotals := make([]int, K)
-	errs := make([]error, K)
-	var wg sync.WaitGroup
-	for worker := 0; worker < K; worker++ {
-		if len(subKeys[worker]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			body, _ := json.Marshal(map[string]any{"keys": subKeys[worker]})
-			wr, err := rt.do(r.Context(), http.MethodPost, worker, "/v1/stale", body)
-			if err != nil {
-				errs[worker] = err
-				return
-			}
-			if wr.status != http.StatusOK {
-				errs[worker] = fmt.Errorf("worker %d: status %d", worker, wr.status)
-				return
-			}
-			var sub subBatchResp
-			if err := json.Unmarshal(wr.body, &sub); err != nil {
-				errs[worker] = fmt.Errorf("worker %d: %v", worker, err)
-				return
-			}
-			if len(sub.Verdicts) != len(subKeys[worker]) {
-				errs[worker] = fmt.Errorf("worker %d: %d verdicts for %d keys", worker, len(sub.Verdicts), len(subKeys[worker]))
-				return
-			}
-			for i, v := range sub.Verdicts {
-				verdicts[subPos[worker][i]] = v
-			}
-			staleTotals[worker] = sub.Stale
-		}(worker)
-	}
-	wg.Wait()
-
-	var down []int
 	stale := 0
-	for worker := 0; worker < K; worker++ {
-		if errs[worker] != nil {
-			down = append(down, worker)
-			// Positional placeholders keep count == len(keys) and the
-			// response order aligned with the request; visibility
-			// "unavailable" is the partition-down analogue of
-			// "untracked".
-			for _, pos := range subPos[worker] {
-				verdicts[pos] = json.RawMessage(fmt.Sprintf(
-					`{"key":%q,"tracked":false,"stale":false,"visibility":"unavailable","potentialMonitors":0}`,
-					req.Keys[pos]))
-			}
-			continue
+	workerErrs := map[int]string{}
+	var mu sync.Mutex // guards stale + workerErrs across a round's goroutines
+
+	// runRound fans per-worker sub-batches out concurrently; group maps a
+	// worker to the request indices it should answer. Failed workers keep
+	// their indices unfilled and are reported back.
+	runRound := func(group map[int][]int) map[int]bool {
+		failed := map[int]bool{}
+		var wg sync.WaitGroup
+		for worker, idxs := range group {
+			wg.Add(1)
+			go func(worker int, idxs []int) {
+				defer wg.Done()
+				ks := make([]string, len(idxs))
+				for j, i := range idxs {
+					ks[j] = req.Keys[i]
+				}
+				body, _ := json.Marshal(map[string]any{"keys": ks})
+				wr, err := rt.do(r.Context(), http.MethodPost, worker, "/v1/stale", body)
+				if err == nil && wr.status != http.StatusOK {
+					err = fmt.Errorf("worker %d: status %d", worker, wr.status)
+				}
+				var sub subBatchResp
+				if err == nil {
+					if uerr := json.Unmarshal(wr.body, &sub); uerr != nil {
+						err = fmt.Errorf("worker %d: %v", worker, uerr)
+					} else if len(sub.Verdicts) != len(idxs) {
+						err = fmt.Errorf("worker %d: %d verdicts for %d keys", worker, len(sub.Verdicts), len(idxs))
+					}
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					failed[worker] = true
+					workerErrs[worker] = err.Error()
+					return
+				}
+				for j, i := range idxs {
+					verdicts[i] = sub.Verdicts[j]
+				}
+				stale += sub.Stale
+			}(worker, idxs)
 		}
-		stale += staleTotals[worker]
+		wg.Wait()
+		return failed
 	}
+
+	group1 := map[int][]int{}
+	for i := range req.Keys {
+		designated := rt.replicaOrder(parts[i])[0]
+		group1[designated] = append(group1[designated], i)
+	}
+	failed1 := runRound(group1)
+
+	var lost []int // request indices with no live replica left to try
+	if len(failed1) > 0 {
+		group2 := map[int][]int{}
+		for worker := range failed1 {
+			for _, i := range group1[worker] {
+				alt := -1
+				for _, cand := range rt.ring.Replicas(parts[i]) {
+					if cand == worker || failed1[cand] || !rt.workerUp(cand) {
+						continue
+					}
+					alt = cand
+					break
+				}
+				if alt < 0 {
+					lost = append(lost, i)
+					continue
+				}
+				group2[alt] = append(group2[alt], i)
+			}
+		}
+		if len(group2) > 0 {
+			for _, idxs := range group2 {
+				metRouterFailovers.Add(uint64(len(idxs)))
+			}
+			failed2 := runRound(group2)
+			for worker := range failed2 {
+				lost = append(lost, group2[worker]...)
+			}
+		}
+	}
+
+	// Positional placeholders keep count == len(keys) and the response
+	// order aligned with the request; visibility "unavailable" is the
+	// partition-down analogue of "untracked". With replication it takes
+	// every replica of a partition failing to get here.
+	unavailSet := map[int]bool{}
+	for _, i := range lost {
+		unavailSet[parts[i]] = true
+		verdicts[i] = json.RawMessage(fmt.Sprintf(
+			`{"key":%q,"tracked":false,"stale":false,"visibility":"unavailable","potentialMonitors":0}`,
+			req.Keys[i]))
+	}
+	unavailParts := make([]int, 0, len(unavailSet))
+	for p := range unavailSet {
+		unavailParts = append(unavailParts, p)
+	}
+	sort.Ints(unavailParts)
 
 	size := 0
 	for i := range verdicts {
@@ -326,11 +507,27 @@ func (rt *Router) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
 	buf.WriteString(strconv.Itoa(stale))
 	buf.WriteString(`,"count":`)
 	buf.WriteString(strconv.Itoa(len(verdicts)))
-	if len(down) > 0 {
+	if len(unavailParts) > 0 {
 		metRouterPartial.Inc()
-		parts, _ := json.Marshal(rt.unavailablePartitions(down))
+		enc, _ := json.Marshal(unavailParts)
 		buf.WriteString(`,"unavailablePartitions":`)
-		buf.Write(parts)
+		buf.Write(enc)
+	}
+	if len(workerErrs) > 0 && len(lost) > 0 {
+		workers := make([]int, 0, len(workerErrs))
+		for worker := range workerErrs {
+			workers = append(workers, worker)
+		}
+		sort.Ints(workers)
+		buf.WriteString(`,"workerErrors":{`)
+		for j, worker := range workers {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			enc, _ := json.Marshal(workerErrs[worker])
+			fmt.Fprintf(&buf, `"%d":%s`, worker, enc)
+		}
+		buf.WriteByte('}')
 	}
 	buf.WriteString(`,"verdicts":[`)
 	for i := range verdicts {
@@ -348,17 +545,30 @@ func (rt *Router) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
 // --- merged reads ---
 
 // fanoutAll issues the same GET to every worker concurrently, returning
-// per-worker bodies and the list of workers that failed after retry.
+// per-worker bodies and the list of workers that are down — either their
+// breaker is open (no request is sent) or the request failed after retry.
+// Because every partition has a replica on two workers, a down worker
+// does not by itself make any data unavailable; callers decide with
+// unavailablePartitions(down).
 func (rt *Router) fanoutAll(ctx context.Context, path string) ([][]byte, []int) {
+	return rt.fanoutAllBody(ctx, http.MethodGet, path, nil)
+}
+
+// fanoutAllBody is fanoutAll for requests with an optional body.
+func (rt *Router) fanoutAllBody(ctx context.Context, method, path string, body []byte) ([][]byte, []int) {
 	K := rt.ring.Workers()
 	bodies := make([][]byte, K)
 	failed := make([]bool, K)
 	var wg sync.WaitGroup
 	for worker := 0; worker < K; worker++ {
+		if !rt.workerUp(worker) {
+			failed[worker] = true
+			continue
+		}
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			wr, err := rt.do(ctx, http.MethodGet, worker, path, nil)
+			wr, err := rt.do(ctx, method, worker, path, body)
 			if err != nil || wr.status != http.StatusOK {
 				failed[worker] = true
 				return
@@ -376,9 +586,10 @@ func (rt *Router) fanoutAll(ctx context.Context, path string) ([][]byte, []int) 
 	return bodies, down
 }
 
-// fanoutAllBody issues the same request (with an optional body) to every
-// worker concurrently, like fanoutAll but for POSTs.
-func (rt *Router) fanoutAllBody(ctx context.Context, method, path string, body []byte) ([][]byte, []int) {
+// fanoutProbe issues a GET to every worker regardless of breaker state —
+// the router's own /readyz doubles as the cluster's recovery sweep, since
+// every success feeds the worker's breaker through do().
+func (rt *Router) fanoutProbe(ctx context.Context, path string) ([][]byte, []int) {
 	K := rt.ring.Workers()
 	bodies := make([][]byte, K)
 	failed := make([]bool, K)
@@ -387,7 +598,7 @@ func (rt *Router) fanoutAllBody(ctx context.Context, method, path string, body [
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			wr, err := rt.do(ctx, method, worker, path, body)
+			wr, err := rt.do(ctx, http.MethodGet, worker, path, nil)
 			if err != nil || wr.status != http.StatusOK {
 				failed[worker] = true
 				return
@@ -475,10 +686,12 @@ func writeEventsMerged(w http.ResponseWriter, merged []json.RawMessage) {
 
 func (rt *Router) handleEventsGet(w http.ResponseWriter, r *http.Request) {
 	bodies, down := rt.fanoutAll(r.Context(), "/v1/events")
-	if len(down) > 0 {
+	// Routing events are detected identically by every full-feed worker,
+	// so any single responder carries the complete list.
+	if len(down) == rt.ring.Workers() {
 		metRouterPartial.Inc()
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":                 fmt.Sprintf("%d of %d workers unavailable", len(down), rt.ring.Workers()),
+			"error":                 "no workers reachable",
 			"unavailablePartitions": rt.unavailablePartitions(down),
 		})
 		return
@@ -498,10 +711,10 @@ func (rt *Router) handleEventsQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bodies, down := rt.fanoutAllBody(r.Context(), http.MethodPost, "/v1/events", body)
-	if len(down) > 0 {
+	if len(down) == rt.ring.Workers() {
 		metRouterPartial.Inc()
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":                 fmt.Sprintf("%d of %d workers unavailable", len(down), rt.ring.Workers()),
+			"error":                 "no workers reachable",
 			"unavailablePartitions": rt.unavailablePartitions(down),
 		})
 		return
@@ -520,16 +733,23 @@ func (rt *Router) handleKeys(w http.ResponseWriter, r *http.Request) {
 		path += "?stale=1"
 	}
 	bodies, down := rt.fanoutAll(r.Context(), path)
-	if len(down) > 0 {
+	// Replication makes a single down worker invisible here: every
+	// partition it owns is also tracked by its standby, whose key list
+	// fills the hole, and mergeKeys drops the replica duplicates. Only a
+	// partition with no live replica makes the merged list incomplete.
+	if uncovered := rt.unavailablePartitions(down); len(uncovered) > 0 {
 		metRouterPartial.Inc()
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error":                 fmt.Sprintf("%d of %d workers unavailable", len(down), rt.ring.Workers()),
-			"unavailablePartitions": rt.unavailablePartitions(down),
+			"unavailablePartitions": uncovered,
 		})
 		return
 	}
-	parts := make([][]string, len(bodies))
+	parts := make([][]string, 0, len(bodies))
 	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
 		var resp struct {
 			Keys []string `json:"keys"`
 		}
@@ -537,7 +757,7 @@ func (rt *Router) handleKeys(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadGateway, fmt.Sprintf("worker %d keys: %v", i, err))
 			return
 		}
-		parts[i] = resp.Keys
+		parts = append(parts, resp.Keys)
 	}
 	merged, err := mergeKeys(parts)
 	if err != nil {
@@ -548,9 +768,12 @@ func (rt *Router) handleKeys(w http.ResponseWriter, r *http.Request) {
 }
 
 // clusterStats is the merged /v1/stats wire form: the single-daemon shape
-// plus, only when degraded, the explicit unavailable-partition list.
+// plus, only when degraded, the down workers and (if any partition has no
+// live replica at all) the unavailable-partition list. A healthy cluster's
+// bytes carry neither field.
 type clusterStats struct {
 	server.Stats
+	DegradedWorkers       []int `json:"degradedWorkers,omitempty"`
 	UnavailablePartitions []int `json:"unavailablePartitions,omitempty"`
 }
 
@@ -582,7 +805,11 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	out := clusterStats{Stats: merged}
 	if len(down) > 0 {
+		// With responders missing, the replica-sum division in mergeStats
+		// is approximate (a down worker's partitions are counted once, the
+		// rest twice); flag the degradation rather than hide it.
 		metRouterPartial.Inc()
+		out.DegradedWorkers = down
 		out.UnavailablePartitions = rt.unavailablePartitions(down)
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -593,20 +820,24 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 // the anonymous sums /v1/stats serves.
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 	type workerInfo struct {
-		ID         int             `json:"id"`
-		URL        string          `json:"url"`
-		Partitions int             `json:"partitions"`
-		Ready      bool            `json:"ready"`
-		Stats      json.RawMessage `json:"stats,omitempty"`
+		ID                int             `json:"id"`
+		URL               string          `json:"url"`
+		Partitions        int             `json:"partitions"`
+		StandbyPartitions int             `json:"standbyPartitions"`
+		Breaker           string          `json:"breaker"`
+		Ready             bool            `json:"ready"`
+		Stats             json.RawMessage `json:"stats,omitempty"`
 	}
 	K := rt.ring.Workers()
 	infos := make([]workerInfo, K)
 	var wg sync.WaitGroup
 	for worker := 0; worker < K; worker++ {
 		infos[worker] = workerInfo{
-			ID:         worker,
-			URL:        rt.opts.Workers[worker],
-			Partitions: rt.ring.OwnedPartitions(worker),
+			ID:                worker,
+			URL:               rt.opts.Workers[worker],
+			Partitions:        rt.ring.OwnedPartitions(worker),
+			StandbyPartitions: rt.ring.ReplicaPartitions(worker) - rt.ring.OwnedPartitions(worker),
+			Breaker:           rt.breakers[worker].snapshot(),
 		}
 		wg.Add(1)
 		go func(worker int) {
@@ -621,23 +852,37 @@ func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"workers":    infos,
-		"partitions": rt.ring.Partitions(),
-		"streams":    rt.merger.allConnected(),
+		"workers":       infos,
+		"partitions":    rt.ring.Partitions(),
+		"replicaFactor": rt.ring.ReplicaFactor(),
+		"streams":       rt.merger.allConnected(),
 	})
 }
 
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	_, down := rt.fanoutAll(r.Context(), "/readyz")
-	if len(down) > 0 {
+	// Probe every worker, open breakers included: a recovered worker's
+	// first successful /readyz here closes its breaker, so readiness
+	// polling doubles as the cluster's recovery sweep.
+	_, down := rt.fanoutProbe(r.Context(), "/readyz")
+	if uncovered := rt.unavailablePartitions(down); len(uncovered) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status":                "degraded",
-			"unavailablePartitions": rt.unavailablePartitions(down),
+			"status":                "unavailable",
+			"downWorkers":           down,
+			"unavailablePartitions": uncovered,
 		})
 		return
 	}
-	if !rt.merger.allConnected() {
+	if !rt.merger.covered() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "streams connecting"})
+		return
+	}
+	if len(down) > 0 || !rt.merger.allConnected() {
+		// Every partition still has a live replica and a connected stream,
+		// so reads keep succeeding — but redundancy is gone.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "degraded",
+			"downWorkers": down,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -736,10 +981,12 @@ func (rt *Router) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
 	// the item at global rank r sits at rank <= r within its worker:
 	// a k-way merge of the per-worker lists, truncated at the budget,
 	// reconstructs the single-daemon priority order — no worker's
-	// below-cut entry can outrank an accepted one. (Ring ownership keeps
-	// the lists key-disjoint, so no dedup pass is needed.)
+	// below-cut entry can outrank an accepted one. Replication makes a
+	// pair's entry appear in both its replicas' lists; the merge keeps the
+	// first and skips later duplicates by key.
 	merged := make([]server.PlanEntry, 0, req.Budget)
 	keys := make([]string, 0, req.Budget)
+	seen := make(map[string]bool, req.Budget)
 	for len(merged) < req.Budget {
 		best := -1
 		for c := 0; c < K; c++ {
@@ -755,13 +1002,17 @@ func (rt *Router) handleRefreshPlan(w http.ResponseWriter, r *http.Request) {
 		}
 		e := parts[best][cur[best]]
 		cur[best]++
+		if seen[e.Key] {
+			continue
+		}
+		seen[e.Key] = true
 		merged = append(merged, e)
 		keys = append(keys, e.Key)
 	}
 	resp := map[string]any{"keys": keys, "plan": merged, "planned": len(keys)}
-	if len(down) > 0 {
+	if uncovered := rt.unavailablePartitions(down); len(uncovered) > 0 {
 		metRouterPartial.Inc()
-		resp["unavailablePartitions"] = rt.unavailablePartitions(down)
+		resp["unavailablePartitions"] = uncovered
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -790,19 +1041,49 @@ func (rt *Router) handleRefreshRecord(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "dst: "+err.Error())
 		return
 	}
-	owner := rt.ring.Owner(rrr.Key{Src: src, Dst: dst})
-	wr, err := rt.do(r.Context(), http.MethodPost, owner, "/v1/refresh/record", body)
-	if err != nil {
-		metRouterPartial.Inc()
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":                 fmt.Sprintf("partition owner worker %d unavailable", owner),
-			"unavailablePartitions": rt.unavailablePartitions([]int{owner}),
-		})
+	// A recorded refresh mutates tracked-pair state, so it must reach every
+	// replica or the standby's verdicts drift from the primary's. Both are
+	// written concurrently; the primary's body is preferred for the
+	// response (they are byte-identical when both succeed). A refresh that
+	// lands on only one replica leaves the other stale until it re-feeds —
+	// the documented write-path caveat of replication without a log.
+	p := rt.ring.PartitionOf(rrr.Key{Src: src, Dst: dst})
+	reps := rt.ring.Replicas(p)
+	resps := make([]*workerResp, len(reps))
+	errs := make([]error, len(reps))
+	var wg sync.WaitGroup
+	for i, worker := range reps {
+		wg.Add(1)
+		go func(i, worker int) {
+			defer wg.Done()
+			resps[i], errs[i] = rt.do(r.Context(), http.MethodPost, worker, "/v1/refresh/record", body)
+		}(i, worker)
+	}
+	wg.Wait()
+	for i := range reps {
+		if errs[i] != nil {
+			continue
+		}
+		if i > 0 {
+			metRouterFailovers.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resps[i].status)
+		w.Write(resps[i].body)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(wr.status)
-	w.Write(wr.body)
+	metRouterPartial.Inc()
+	errStrs := make([]string, 0, len(errs))
+	for _, err := range errs {
+		if err != nil {
+			errStrs = append(errStrs, err.Error())
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":                 fmt.Sprintf("all replicas of partition %d unavailable", p),
+		"workerErrors":          errStrs,
+		"unavailablePartitions": rt.unavailablePartitions(reps),
+	})
 }
 
 func (rt *Router) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"rrr"
 	"rrr/internal/server"
 )
 
@@ -53,9 +54,10 @@ func clusterKeys(t *testing.T, lc *LocalCluster) (all []string, byWorker [][]str
 }
 
 type batchResp struct {
-	Stale                 int   `json:"stale"`
-	Count                 int   `json:"count"`
-	UnavailablePartitions []int `json:"unavailablePartitions"`
+	Stale                 int            `json:"stale"`
+	Count                 int            `json:"count"`
+	UnavailablePartitions []int          `json:"unavailablePartitions"`
+	WorkerErrors          map[int]string `json:"workerErrors"`
 	Verdicts              []struct {
 		Key        string `json:"key"`
 		Tracked    bool   `json:"tracked"`
@@ -63,10 +65,33 @@ type batchResp struct {
 	} `json:"verdicts"`
 }
 
+// darkPartitions lists partitions whose every replica is in the downed set
+// — the only partitions replication cannot save.
+func darkPartitions(lc *LocalCluster, downed ...int) map[int]bool {
+	isDown := map[int]bool{}
+	for _, w := range downed {
+		isDown[w] = true
+	}
+	dark := map[int]bool{}
+	for p := 0; p < lc.Ring.Partitions(); p++ {
+		alive := false
+		for _, w := range lc.Ring.Replicas(p) {
+			if !isDown[w] {
+				alive = true
+			}
+		}
+		if !alive {
+			dark[p] = true
+		}
+	}
+	return dark
+}
+
 // TestRouterWorkerDownMidBatch kills one worker and checks the batch
-// endpoint degrades to an explicit partial response: placeholder verdicts
-// for the dead worker's keys, live verdicts for the rest, and the downed
-// partitions listed.
+// endpoint fails over to the standby replicas byte-identically; a second
+// kill then blacks out exactly the partitions whose both replicas are
+// down, with placeholder verdicts and an explicit unavailablePartitions
+// list for those keys only.
 func TestRouterWorkerDownMidBatch(t *testing.T) {
 	lc := startSmallCluster(t, nil)
 	all, byWorker := clusterKeys(t, lc)
@@ -74,47 +99,69 @@ func TestRouterWorkerDownMidBatch(t *testing.T) {
 	if len(byWorker[down]) == 0 {
 		t.Fatalf("worker %d owns no keys; pick another corpus seed", down)
 	}
-	lc.Workers[down].StopHTTP()
-
 	body, _ := json.Marshal(map[string]any{"keys": all})
+	before := httpPost(t, lc.URL()+"/v1/stale", string(body))
+
+	// One worker down: every one of its partitions has a live standby, so
+	// the failover must be invisible — same bytes, no degradation fields.
+	lc.Workers[down].StopHTTP()
+	after := httpPost(t, lc.URL()+"/v1/stale", string(body))
+	diffStrings(t, "batch across single-worker failover", before, after)
+
+	// Second worker down: partitions replicated only on {1, 2} go dark.
+	lc.Workers[2].StopHTTP()
+	dark := darkPartitions(lc, down, 2)
+	if len(dark) == 0 {
+		t.Fatal("no partition has both replicas on workers 1 and 2; ring geometry changed, rewrite the test")
+	}
 	var resp batchResp
 	if err := json.Unmarshal([]byte(httpPost(t, lc.URL()+"/v1/stale", string(body))), &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Count != len(all) {
-		t.Fatalf("count = %d, want %d (positional alignment must survive a down worker)", resp.Count, len(all))
+		t.Fatalf("count = %d, want %d (positional alignment must survive down workers)", resp.Count, len(all))
 	}
-	wantParts := lc.Ring.WorkerPartitions(down)
-	if len(resp.UnavailablePartitions) != len(wantParts) {
-		t.Fatalf("unavailablePartitions = %v, want worker %d's %v", resp.UnavailablePartitions, down, wantParts)
+	if len(resp.WorkerErrors) == 0 {
+		t.Fatal("lost keys must carry the worker errors that caused them")
 	}
+	lostParts := map[int]bool{}
 	for i, v := range resp.Verdicts {
 		if v.Key != all[i] {
 			t.Fatalf("verdict %d is for %q, want %q", i, v.Key, all[i])
 		}
-		owner := ownerOf(t, lc, v.Key)
-		if owner == down {
+		p := lc.Ring.PartitionOf(mustKey(t, v.Key))
+		if dark[p] {
 			if v.Visibility != "unavailable" || v.Tracked {
-				t.Fatalf("verdict for %q (down worker): visibility %q tracked %v", v.Key, v.Visibility, v.Tracked)
+				t.Fatalf("verdict for %q (dark partition %d): visibility %q tracked %v", v.Key, p, v.Visibility, v.Tracked)
 			}
+			lostParts[p] = true
 		} else if v.Visibility == "unavailable" {
-			t.Fatalf("verdict for %q marked unavailable but worker %d is up", v.Key, owner)
+			t.Fatalf("verdict for %q marked unavailable but partition %d has a live replica", v.Key, p)
+		}
+	}
+	if len(resp.UnavailablePartitions) != len(lostParts) {
+		t.Fatalf("unavailablePartitions = %v, want the %d dark partitions holding keys", resp.UnavailablePartitions, len(lostParts))
+	}
+	for _, p := range resp.UnavailablePartitions {
+		if !lostParts[p] {
+			t.Fatalf("unavailablePartitions lists %d, which lost no keys", p)
 		}
 	}
 }
 
-func ownerOf(t *testing.T, lc *LocalCluster, ks string) int {
+func mustKey(t *testing.T, ks string) rrr.Key {
 	t.Helper()
 	k, err := server.ParseKey(ks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lc.Ring.Owner(k)
+	return k
 }
 
 // TestRouterSlowWorkerTimeout wedges one worker's batch endpoint past the
-// per-worker timeout and checks the router returns a partial response
-// instead of hanging the whole batch.
+// per-worker timeout and checks the router neither hangs the whole batch
+// nor degrades it: the wedged worker's keys fail over to their standbys
+// and the response comes back complete.
 func TestRouterSlowWorkerTimeout(t *testing.T) {
 	const slow = 2
 	block := make(chan struct{})
@@ -146,21 +193,21 @@ func TestRouterSlowWorkerTimeout(t *testing.T) {
 	if err := json.Unmarshal([]byte(httpPost(t, lc.URL()+"/v1/stale", string(body))), &resp); err != nil {
 		t.Fatal(err)
 	}
-	// Timeout + one retry, plus slack: the batch must not wait on the
-	// wedged worker indefinitely.
+	// One per-worker timeout (the retry shares its deadline) plus the
+	// failover round, plus slack: the batch must not wait on the wedged
+	// worker indefinitely.
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("batch took %v against a wedged worker", elapsed)
 	}
 	if resp.Count != len(all) {
 		t.Fatalf("count = %d, want %d", resp.Count, len(all))
 	}
-	if len(resp.UnavailablePartitions) != lc.Ring.OwnedPartitions(slow) {
-		t.Fatalf("unavailablePartitions = %v, want worker %d's %d partitions",
-			resp.UnavailablePartitions, slow, lc.Ring.OwnedPartitions(slow))
+	if len(resp.UnavailablePartitions) != 0 {
+		t.Fatalf("unavailablePartitions = %v; every wedged partition has a live standby", resp.UnavailablePartitions)
 	}
 	for i, v := range resp.Verdicts {
-		if ownerOf(t, lc, v.Key) == slow && v.Visibility != "unavailable" {
-			t.Fatalf("verdict %d for %q: visibility %q, want unavailable", i, v.Key, v.Visibility)
+		if v.Visibility == "unavailable" {
+			t.Fatalf("verdict %d for %q marked unavailable; its standby should have answered", i, v.Key)
 		}
 	}
 }

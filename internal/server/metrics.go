@@ -16,6 +16,9 @@ var (
 	metSnapBytes        = obs.Default.Gauge("rrr_snapshot_last_bytes")
 	metSnapLoads        = obs.Default.Counter("rrr_snapshot_loads_total")
 	metSnapLoadSeconds  = obs.Default.Histogram("rrr_snapshot_load_seconds", nil)
+
+	metInflight = obs.Default.Gauge("rrr_server_inflight")
+	metShed     = obs.Default.Counter("rrr_server_shed_total")
 )
 
 func init() {
@@ -28,4 +31,6 @@ func init() {
 	obs.Default.Help("rrr_snapshot_last_bytes", "size of the most recently written snapshot")
 	obs.Default.Help("rrr_snapshot_loads_total", "snapshots loaded from disk")
 	obs.Default.Help("rrr_snapshot_load_seconds", "snapshot read+decode duration")
+	obs.Default.Help("rrr_server_inflight", "data requests currently inside the handler tree")
+	obs.Default.Help("rrr_server_shed_total", "requests shed by in-flight admission or spent deadlines")
 }

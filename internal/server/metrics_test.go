@@ -95,6 +95,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"rrr_engine_observations_total",
 		"rrr_shard_pairs",
 		"rrr_shard_close_window_seconds",
+		// serve-path admission control
+		"rrr_server_inflight",
+		"rrr_server_shed_total",
 		// serving hub
 		"rrr_hub_subscribers",
 		"rrr_hub_published_total",

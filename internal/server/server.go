@@ -27,6 +27,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -53,6 +54,11 @@ type Config struct {
 	Heartbeat time.Duration
 	// MaxBatch caps the keys accepted by one POST /v1/stale (0 = 10000).
 	MaxBatch int
+	// MaxInFlight bounds concurrently-served data requests (0 =
+	// DefaultMaxInFlight). Requests past the bound are shed with
+	// 503 + Retry-After instead of queueing into latency collapse.
+	// Health, readiness, metrics, and SSE stream endpoints are exempt.
+	MaxInFlight int
 	// Health, when set, surfaces the pipeline's per-feed supervisor state
 	// in GET /v1/stats — a degraded daemon (one feed dead or retrying)
 	// keeps serving, and operators see which feed is down without
@@ -78,6 +84,11 @@ type WorkerIdentity struct {
 	ID         int `json:"id"`
 	Workers    int `json:"workers"`
 	Partitions int `json:"partitions"`
+	// RF is how many distinct workers track each of this worker's pairs
+	// (2 under replicated rings, so the router divides summed per-pair
+	// stats back to single-daemon counts). Zero means unreplicated and is
+	// omitted, keeping pre-replication stats bytes unchanged.
+	RF int `json:"rf,omitempty"`
 }
 
 // Server serves staleness queries from a Monitor.
@@ -94,6 +105,9 @@ type Server struct {
 	// complete. Defaults to true so servers without a recovery phase are
 	// born ready.
 	ready atomic.Bool
+	// inflight counts data requests currently inside the handler tree;
+	// Handler()'s admission wrapper sheds past cfg.MaxInFlight.
+	inflight atomic.Int64
 }
 
 // New wires the handlers. The Monitor may (and in a daemon, will) be fed
@@ -105,6 +119,9 @@ func New(mon *rrr.Monitor, cfg Config) *Server {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 10000
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
 	}
 	s := &Server{mon: mon, hub: NewHub(cfg.RingSize), cfg: cfg, mux: http.NewServeMux(), cache: newVerdictCache(0)}
 	s.mux.HandleFunc("GET /v1/stale/{key}", s.handleStaleOne)
@@ -140,8 +157,65 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// DefaultMaxInFlight is the Config.MaxInFlight default: generous enough
+// that the differential and torture suites never shed, small enough to
+// bound memory under a stampede.
+const DefaultMaxInFlight = 4096
+
+// DeadlineHeader carries the router's remaining per-request budget in
+// milliseconds. The worker folds it into the request context so work for
+// an already-expired router deadline is abandoned instead of computed and
+// discarded.
+const DeadlineHeader = "X-RRR-Deadline-Ms"
+
+// OverloadExempt reports whether a path bypasses in-flight admission:
+// probes and metrics must answer during overload (they are how operators
+// and the router's circuit breakers see the overload), and SSE streams
+// are long-lived by design so counting them would wedge admission.
+func OverloadExempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics", "/v1/signals":
+		return true
+	}
+	return false
+}
+
+// Handler returns the HTTP handler tree wrapped with overload admission
+// and router-deadline propagation.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if OverloadExempt(r.URL.Path) {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		if h := r.Header.Get(DeadlineHeader); h != "" {
+			if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+				if ms <= 0 {
+					// The caller's budget is already spent; any answer
+					// would be discarded.
+					metShed.Inc()
+					w.Header().Set("Retry-After", "1")
+					writeErr(w, http.StatusServiceUnavailable, "deadline already exceeded")
+					return
+				}
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		n := s.inflight.Add(1)
+		metInflight.Set(n)
+		defer func() { metInflight.Set(s.inflight.Add(-1)) }()
+		if n > int64(s.cfg.MaxInFlight) {
+			metShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("overloaded: %d requests in flight (limit %d)", n, s.cfg.MaxInFlight))
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Publish is the Pipeline sink: it fans the signal out to SSE subscribers
 // without blocking ingestion. Compose with other sinks via rrr.Tee.
@@ -387,7 +461,15 @@ func (s *Server) handleStaleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = k
 	}
+	// The client (or the router, via the propagated deadline) may already
+	// be gone; verdict computation for a canceled request is pure waste.
+	if r.Context().Err() != nil {
+		return
+	}
 	verdicts := s.verdicts(keys)
+	if r.Context().Err() != nil {
+		return
+	}
 	stale := 0
 	size := 0
 	for i := range verdicts {
